@@ -1,0 +1,64 @@
+// Command rover-bench regenerates the paper's evaluation tables and
+// figures. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// interpreted results.
+//
+// Usage:
+//
+//	rover-bench -experiment all          # every table/figure
+//	rover-bench -experiment T3           # one experiment
+//	rover-bench -list                    # what exists
+//	rover-bench -experiment all -quick   # smoke-scale workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rover/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		quick      = flag.Bool("quick", false, "run shrunk workloads (smoke test)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	opts := bench.Options{Quick: *quick}
+	ids := []string{}
+	if strings.EqualFold(*experiment, "all") {
+		ids = bench.IDs()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	failed := false
+	for _, id := range ids {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rover-bench: unknown experiment %q (try -list)\n", id)
+			failed = true
+			continue
+		}
+		tbl, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rover-bench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

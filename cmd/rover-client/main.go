@@ -1,0 +1,275 @@
+// Command rover-client is an interactive Rover client: a small REPL over
+// the toolkit's public API, useful for poking at a rover-server and for
+// demonstrating disconnected operation from two terminals.
+//
+// Usage:
+//
+//	rover-client -server 127.0.0.1:7070 -id laptop -log /tmp/laptop.qrpc
+//
+// Commands (try `help` at the prompt):
+//
+//	import <urn>              stat <urn>            list <prefix>
+//	invoke <urn> <m> [args]   remote <urn> <m> ...  export <urn>
+//	create <urn> <type>       status                conflicts
+//	prefetch <prefix>         quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rover"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "127.0.0.1:7070", "rover-server TCP address")
+		clientID = flag.String("id", "rover-client", "client identity")
+		logPath  = flag.String("log", "", "stable log path (empty: in-memory, no crash recovery)")
+		keyHex   = flag.String("key", "", "hex auth key")
+	)
+	flag.Parse()
+
+	cli, err := rover.NewClient(rover.ClientOptions{
+		ClientID: *clientID,
+		LogPath:  *logPath,
+		KeyHex:   *keyHex,
+		Stdout:   os.Stdout,
+		OnConflict: func(u rover.URN, msg string) {
+			fmt.Printf("\n! conflict on %s: %s\n> ", u, msg)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rover-client: %v\n", err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+	cli.ConnectTCP(*server)
+	fmt.Printf("rover-client %q -> %s (connection maintained in background)\n", *clientID, *server)
+	repl(cli)
+}
+
+func repl(cli *rover.Client) {
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line != "" {
+			if !execute(cli, line) {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// execute runs one REPL command; false means quit.
+func execute(cli *rover.Client, line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fail := func(err error) bool {
+		fmt.Printf("error: %v\n", err)
+		return true
+	}
+	parse := func(s string) (rover.URN, bool) {
+		u, err := rover.ParseURN(s)
+		if err != nil {
+			fail(err)
+			return rover.URN{}, false
+		}
+		return u, true
+	}
+	switch cmd {
+	case "quit", "exit":
+		return false
+	case "help":
+		fmt.Println("import <urn> | invoke <urn> <method> [args...] | remote <urn> <method> [args...]")
+		fmt.Println("export <urn> | create <urn> <type> | stat <urn> | list <prefix> | prefetch <prefix>")
+		fmt.Println("checkout <urn> | checkin <urn> | status | conflicts | quit")
+	case "import":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: import <urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		obj, err := cli.Import(u, rover.ImportOptions{}).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s  type=%s version=%d\n", obj.URN, obj.Type, obj.Version)
+		keys := obj.Keys()
+		sort.Strings(keys)
+		for _, k := range keys {
+			v, _ := obj.Get(k)
+			if len(v) > 60 {
+				v = v[:60] + "..."
+			}
+			fmt.Printf("  %s = %s\n", k, v)
+		}
+	case "invoke":
+		if len(args) < 2 {
+			return fail(fmt.Errorf("usage: invoke <urn> <method> [args...]"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		res, err := cli.Invoke(u, args[1], args[2:]...)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("-> %s\n", res)
+		if cli.Tentative(u) {
+			fmt.Println("   (tentative; export queued)")
+		}
+	case "remote":
+		if len(args) < 2 {
+			return fail(fmt.Errorf("usage: remote <urn> <method> [args...]"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		res, err := cli.InvokeRemote(u, args[1], args[2:], rover.PriorityNormal).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("-> %s (server version %d)\n", res.Result, res.NewVersion)
+	case "export":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: export <urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		f, err := cli.Export(u, rover.PriorityNormal)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := f.Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("export: %s (version %d) %s\n", res.Outcome, res.NewVersion, res.Message)
+	case "create":
+		if len(args) != 2 {
+			return fail(fmt.Errorf("usage: create <urn> <type>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		obj := rover.NewObject(u, args[1])
+		obj.Code = `
+			proc get {k} { state get $k "" }
+			proc put {k v} { state set $k $v }
+		`
+		v, err := cli.Create(obj, rover.PriorityNormal).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("created %s at version %d (methods: get, put)\n", u, v)
+	case "stat":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: stat <urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		st, err := cli.Stat(u, rover.PriorityNormal).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if !st.Exists {
+			fmt.Println("does not exist")
+		} else {
+			fmt.Printf("type=%s version=%d size=%dB\n", st.Type, st.Version, st.Size)
+		}
+	case "list":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: list <prefix-urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		entries, err := cli.List(u, rover.PriorityNormal).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		for _, e := range entries {
+			fmt.Printf("%-60s v%-4d %s\n", e.URN, e.Version, e.Type)
+		}
+		fmt.Printf("(%d objects)\n", len(entries))
+	case "prefetch":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: prefetch <prefix-urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		n, err := cli.PrefetchPrefix(u).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("prefetching %d objects\n", n)
+	case "checkout":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: checkout <urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		res, err := cli.Checkout(u, false, rover.PriorityNormal).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if res.Granted {
+			fmt.Println("checked out (exclusive)")
+		} else {
+			fmt.Printf("refused: held by %q\n", res.Holder)
+		}
+	case "checkin":
+		if len(args) != 1 {
+			return fail(fmt.Errorf("usage: checkin <urn>"))
+		}
+		u, ok := parse(args[0])
+		if !ok {
+			return true
+		}
+		if _, err := cli.Checkin(u, rover.PriorityNormal).Wait(ctx); err != nil {
+			return fail(err)
+		}
+		fmt.Println("checked in")
+	case "status":
+		st := cli.Status()
+		fmt.Printf("connected=%v queued=%d awaiting=%d tentative-objects=%d cached=%d\n",
+			st.Connected, st.Queued, st.AwaitingReply, st.TentativeObjects, st.CachedObjects)
+	case "conflicts":
+		cs, err := cli.Conflicts(rover.PriorityNormal).Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		for _, c := range cs {
+			fmt.Printf("%s from %s (base v%d vs v%d): %s\n", c.URN, c.ClientID, c.BaseVer, c.AtVer, c.Message)
+		}
+		fmt.Printf("(%d conflicts in repair queue)\n", len(cs))
+	default:
+		return fail(fmt.Errorf("unknown command %q (try help)", cmd))
+	}
+	return true
+}

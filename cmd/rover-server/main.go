@@ -1,0 +1,128 @@
+// Command rover-server runs a standalone Rover home server over TCP — the
+// counterpart of the paper's "standalone TCP/IP server" deployment (the
+// other deployment, CGI behind httpd, is out of scope for a toolkit demo).
+//
+// Usage:
+//
+//	rover-server -listen :7070 -snapshot objects.snap -seed demo
+//
+// With -snapshot, the object store is loaded at startup (if the file
+// exists) and saved on SIGINT/SIGTERM and every -save-interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rover"
+	"rover/internal/apps/calendar"
+	"rover/internal/apps/mail"
+	"rover/internal/apps/webproxy"
+	"rover/internal/apps/webproxy/httpmini"
+	"rover/internal/gateway"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		httpAddr     = flag.String("http", "", "also serve a read-only HTTP gateway (e.g. 127.0.0.1:8080)")
+		serverID     = flag.String("id", "rover-server", "server identity")
+		snapshot     = flag.String("snapshot", "", "object store snapshot path (load at start, save on exit)")
+		saveInterval = flag.Duration("save-interval", time.Minute, "periodic snapshot interval (0 disables)")
+		seed         = flag.String("seed", "", "seed demo content: mail, calendar, web, or all")
+	)
+	flag.Parse()
+
+	srv, err := rover.NewServer(rover.ServerOptions{
+		ServerID:     *serverID,
+		SnapshotPath: *snapshot,
+	})
+	if err != nil {
+		log.Fatalf("rover-server: %v", err)
+	}
+	if err := seedDemo(srv, *seed); err != nil {
+		log.Fatalf("rover-server: seeding: %v", err)
+	}
+	ln, err := srv.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("rover-server: listen: %v", err)
+	}
+	log.Printf("rover-server %q listening on %s (%d objects)", *serverID, ln.Addr(), srv.Store().Len())
+	if *httpAddr != "" {
+		gw, err := httpmini.Serve(*httpAddr, gateway.Handler(srv.Store(), "demo"))
+		if err != nil {
+			log.Fatalf("rover-server: http gateway: %v", err)
+		}
+		defer gw.Close()
+		log.Printf("rover-server: HTTP gateway on http://%s/ (read-only)", gw.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *snapshot != "" && *saveInterval > 0 {
+		ticker = time.NewTicker(*saveInterval)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			if err := srv.SaveSnapshot(); err != nil {
+				log.Printf("rover-server: snapshot: %v", err)
+			}
+		case sig := <-stop:
+			log.Printf("rover-server: %v; shutting down", sig)
+			ln.Close()
+			if *snapshot != "" {
+				if err := srv.SaveSnapshot(); err != nil {
+					log.Printf("rover-server: final snapshot: %v", err)
+				} else {
+					log.Printf("rover-server: saved %d objects to %s", srv.Store().Len(), *snapshot)
+				}
+			}
+			return
+		}
+	}
+}
+
+// seedDemo provisions demonstration content for the three applications.
+func seedDemo(srv *rover.Server, what string) error {
+	if what == "" {
+		return nil
+	}
+	doMail := what == "mail" || what == "all"
+	doCal := what == "calendar" || what == "all"
+	doWeb := what == "web" || what == "all"
+	if !doMail && !doCal && !doWeb {
+		return fmt.Errorf("unknown seed %q (want mail, calendar, web, or all)", what)
+	}
+	if doMail {
+		seeder := &mail.Seeder{Authority: "demo"}
+		if _, err := seeder.SeedFolder(srv, "inbox", 25); err != nil {
+			return err
+		}
+		log.Printf("seeded mail: urn:rover:demo/mail/inbox (25 messages)")
+	}
+	if doCal {
+		if err := srv.Seed(calendar.NewObject(calendar.URNFor("demo", "group"))); err != nil {
+			return err
+		}
+		log.Printf("seeded calendar: %s", calendar.URNFor("demo", "group"))
+	}
+	if doWeb {
+		if _, err := webproxy.GenerateWeb(srv, webproxy.WebSpec{
+			Authority: "demo", Pages: 50, LinksPerPage: 4, BodyBytes: 2048, Seed: 42,
+		}); err != nil {
+			return err
+		}
+		log.Printf("seeded web: urn:rover:demo/web/p0 .. p49")
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Quickstart: the whole Rover story in one file.
+//
+// A server is the home of a "notes" RDO. A client imports it, works on it
+// locally, loses connectivity, keeps working (tentatively, with requests
+// accumulating on the queue), reconnects, and watches everything drain and
+// commit. Run it:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"rover"
+)
+
+func main() {
+	// --- Server side: a home for objects. -----------------------------
+	srv, err := rover.NewServer(rover.ServerOptions{ServerID: "home"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	notes := rover.NewObject(rover.MustParseURN("urn:rover:home/notes"), "notes")
+	notes.Code = `
+		proc add {line}  { state set n[state size] $line }
+		proc count {}    { state size }
+		proc all {}      {
+			set out {}
+			foreach k [lsort [state keys]] { lappend out [state get $k] }
+			return $out
+		}
+	`
+	if err := srv.Seed(notes); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Client side: a roving host. -----------------------------------
+	cli, err := rover.NewClient(rover.ClientOptions{
+		ClientID: "laptop",
+		OnConflict: func(u rover.URN, msg string) {
+			fmt.Printf("  !! conflict on %s: %s\n", u, msg)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	link := cli.ConnectPipe(srv) // in-process link we can script
+	link.SetConnected(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	u := notes.URN
+
+	fmt.Println("1. import the object (fills the local cache):")
+	obj, err := cli.ImportWait(ctx, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   got %s (type %s, version %d)\n\n", obj.URN, obj.Type, obj.Version)
+
+	fmt.Println("2. invoke a method locally — the update is tentative and queued:")
+	if _, err := cli.Invoke(u, "add", "remember the milk"); err != nil {
+		log.Fatal(err)
+	}
+	report(cli, u)
+	waitCommitted(cli, u)
+	fmt.Println("   ...committed at the home server.")
+
+	fmt.Println("\n3. disconnect. Rover keeps working:")
+	link.SetConnected(false)
+	for _, line := range []string{"pack the WaveLAN card", "charge the ThinkPad", "print boarding pass"} {
+		if _, err := cli.Invoke(u, "add", line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	count, _ := cli.Invoke(u, "count")
+	fmt.Printf("   local count while offline: %s\n", count)
+	report(cli, u)
+
+	fmt.Println("\n4. reconnect. The queue drains by itself:")
+	link.SetConnected(true)
+	waitCommitted(cli, u)
+	report(cli, u)
+
+	serverObj, err := srv.Store().Get(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n5. the server's committed copy is at version %d with %d notes.\n",
+		serverObj.Version, len(serverObj.State))
+	all, _ := cli.Invoke(u, "all")
+	fmt.Printf("   notes: %s\n", all)
+}
+
+func report(cli *rover.Client, u rover.URN) {
+	st := cli.Status()
+	fmt.Printf("   [status] connected=%v queued=%d tentative-objects=%d\n",
+		st.Connected, st.Queued, st.TentativeObjects)
+	_ = u
+}
+
+func waitCommitted(cli *rover.Client, u rover.URN) {
+	deadline := time.Now().Add(5 * time.Second)
+	for cli.Tentative(u) || cli.Status().Queued+cli.Status().AwaitingReply > 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

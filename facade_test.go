@@ -1,0 +1,169 @@
+package rover
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeSurface exercises every Client wrapper end-to-end over a pipe,
+// so the public API surface stays wired to the access manager correctly.
+func TestFacadeSurface(t *testing.T) {
+	srv, err := NewServer(ServerOptions{ServerID: "home"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterResolver("notes", ReplayResolver)
+	base := notesObject(t, "surface/base")
+	if err := srv.Seed(base); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientOptions{ClientID: "laptop", NoAutoExport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	link := cli.ConnectPipe(srv)
+	link.SetConnected(true)
+	c := ctx(t)
+
+	// URN helpers.
+	if _, err := ParseURN("nonsense"); err == nil {
+		t.Error("ParseURN accepted junk")
+	}
+	u2, err := NewURN("home", "surface/created")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Import / Invoke / Tentative / Export.
+	if _, err := cli.Import(base.URN, ImportOptions{}).Wait(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Invoke(base.URN, "add", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Tentative(base.URN) {
+		t.Error("not tentative")
+	}
+	futures := cli.ExportAll(PriorityNormal)
+	if len(futures) != 1 {
+		t.Fatalf("ExportAll: %d futures", len(futures))
+	}
+	if res, err := futures[0].Wait(c); err != nil || res.Outcome != OutcomeCommitted {
+		t.Fatalf("export: %+v %v", res, err)
+	}
+
+	// Create / CreateWait / Stat / List.
+	obj2 := notesObject(t, "surface/created")
+	if v, err := cli.CreateWait(c, obj2); err != nil || v != 1 {
+		t.Fatalf("CreateWait: %d %v", v, err)
+	}
+	st, err := cli.Stat(u2, PriorityNormal).Wait(c)
+	if err != nil || !st.Exists {
+		t.Fatalf("Stat: %+v %v", st, err)
+	}
+	entries, err := cli.List(MustParseURN("urn:rover:home/surface"), PriorityNormal).Wait(c)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("List: %+v %v", entries, err)
+	}
+
+	// InvokeRemote.
+	ir, err := cli.InvokeRemote(base.URN, "count", nil, PriorityHigh).Wait(c)
+	if err != nil || ir.Result != "1" {
+		t.Fatalf("InvokeRemote: %+v %v", ir, err)
+	}
+
+	// Prefetch / PrefetchPrefix / Cached.
+	if _, err := cli.Prefetch(u2).Wait(c); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Cached(u2) {
+		t.Error("prefetched object not cached")
+	}
+	if n, err := cli.PrefetchPrefix(MustParseURN("urn:rover:home/surface")).Wait(c); err != nil || n != 0 {
+		t.Errorf("PrefetchPrefix: %d %v", n, err)
+	}
+
+	// Subscribe / Conflicts.
+	if _, err := cli.Subscribe(MustParseURN("urn:rover:home/surface"), PriorityNormal).Wait(c); err != nil {
+		t.Fatal(err)
+	}
+	if cs, err := cli.Conflicts(PriorityNormal).Wait(c); err != nil || len(cs) != 0 {
+		t.Fatalf("Conflicts: %+v %v", cs, err)
+	}
+
+	// Checkout / Checkin.
+	co, err := cli.Checkout(base.URN, false, PriorityNormal).Wait(c)
+	if err != nil || !co.Granted {
+		t.Fatalf("Checkout: %+v %v", co, err)
+	}
+	if _, err := cli.Checkin(base.URN, PriorityNormal).Wait(c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accessors and composition helpers.
+	if cli.Engine() == nil || cli.Access() == nil || srv.Engine() == nil {
+		t.Error("nil accessors")
+	}
+	f := NewFuture[string]()
+	f.Resolve("ok")
+	if v, err := f.Wait(c); err != nil || v != "ok" {
+		t.Errorf("NewFuture: %q %v", v, err)
+	}
+	f2 := NewFuture[int]()
+	f2.Fail(context.Canceled)
+	if _, err := f2.Wait(c); err != context.Canceled {
+		t.Errorf("Fail: %v", err)
+	}
+}
+
+func TestFacadeNoSessionGuarantees(t *testing.T) {
+	cli, err := NewClient(ClientOptions{ClientID: "c", NoSessionGuarantees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if g := cli.Access().Session().Guarantees(); g != NoGuarantees {
+		t.Errorf("guarantees %v", g)
+	}
+	cli2, err := NewClient(ClientOptions{ClientID: "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if g := cli2.Access().Session().Guarantees(); g != AllGuarantees {
+		t.Errorf("default guarantees %v", g)
+	}
+}
+
+func TestFacadeModeledFlushCost(t *testing.T) {
+	cli, err := NewClient(ClientOptions{ClientID: "c", ModeledFlushCost: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// The engine must see the modeled cost (it shapes readyAt).
+	if _, err := cli.Engine().Enqueue("x", nil, PriorityNormal, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cli.Engine().NextReadyAt(0); !ok {
+		t.Error("flush cost not charged")
+	}
+}
+
+func TestFacadeStatusString(t *testing.T) {
+	cli, err := NewClient(ClientOptions{ClientID: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	st := cli.Status()
+	if st.Connected || st.CachedObjects != 0 {
+		t.Errorf("fresh status %+v", st)
+	}
+	if !strings.Contains(AllGuarantees.String(), "RYW") {
+		t.Error("guarantee string")
+	}
+}

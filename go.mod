@@ -1,0 +1,3 @@
+module rover
+
+go 1.24

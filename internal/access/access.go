@@ -1,0 +1,837 @@
+// Package access implements the Rover access manager — the client-side
+// core of the toolkit.
+//
+// "On the mobile host, applications communicate with an access manager
+// that mediates all interactions with the servers": imports fill the local
+// cache, method invocations on cached RDOs execute locally and produce
+// tentative data, exports ship the queued operations back to each object's
+// home server, and prefetching fills the cache while connectivity lasts.
+// The access manager also maintains the user-notification state (queue
+// depths, tentative counts, connectivity) that mobile UIs surface.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"rover/internal/cache"
+	"rover/internal/proto"
+	"rover/internal/qrpc"
+	"rover/internal/rdo"
+	"rover/internal/session"
+	"rover/internal/urn"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// Errors returned by the access manager.
+var (
+	ErrNotCached       = errors.New("access: object not in cache")
+	ErrNothingToExport = errors.New("access: no tentative operations to export")
+	ErrExportInFlight  = errors.New("access: export already in flight")
+	ErrTentativePinned = errors.New("access: object has tentative data")
+)
+
+// TentativePolicy selects whether an import may be served from a cache
+// entry carrying uncommitted local operations. "Applications can specify
+// whether they will accept tentative data when importing an object."
+type TentativePolicy int
+
+// Tentative policies; the zero value accepts tentative data (the common
+// disconnected-operation case).
+const (
+	AcceptTentative TentativePolicy = iota
+	RejectTentative
+)
+
+// ImportOptions tune one import.
+type ImportOptions struct {
+	// Priority of the QRPC if the import goes remote (0 = Normal).
+	Priority qrpc.Priority
+	// Revalidate forces a server round trip even on a cache hit (cheap
+	// when unchanged: the server answers NotModified).
+	Revalidate bool
+	// Tentative selects whether tentative cache entries are acceptable.
+	Tentative TentativePolicy
+}
+
+// InvokeResult is the outcome of a server-side method execution.
+type InvokeResult struct {
+	Result     string
+	NewVersion uint64
+	Mutated    bool
+}
+
+// ExportResult is the outcome of an export.
+type ExportResult struct {
+	Outcome    proto.Outcome
+	NewVersion uint64
+	Message    string
+}
+
+// Status is the user-notification snapshot.
+type Status struct {
+	qrpc.StatusInfo
+	TentativeObjects int
+	CachedObjects    int
+}
+
+// Stats counts access-manager activity for the benchmark harness.
+type Stats struct {
+	CacheServes   int64 // imports answered locally
+	ImportsSent   int64
+	NotModified   int64
+	LocalInvokes  int64
+	RemoteInvokes int64
+	ExportsSent   int64
+	Conflicts     int64
+	Prefetches    int64
+	Invalidations int64
+}
+
+// Config configures an access manager.
+type Config struct {
+	// Engine is the client QRPC engine. Required.
+	Engine *qrpc.Client
+	// Kick, if non-nil, is invoked after every enqueue so the transport
+	// transmits promptly (wire it to transport.ClientTransport.Kick).
+	Kick func()
+	// Clock supplies timestamps; nil selects real time.
+	Clock vtime.Clock
+	// CacheBytes bounds the object cache (<= 0: unbounded).
+	CacheBytes int
+	// Guarantees selects the session guarantees enforced on reads.
+	Guarantees session.Guarantee
+	// AutoExport exports after every mutating local invocation. The
+	// operations still ride the queue — AutoExport costs nothing while
+	// disconnected, and makes reconnection drain everything automatically.
+	AutoExport bool
+	// Stdout receives `puts` output from locally executed RDO code.
+	Stdout io.Writer
+	// OnConflict is told when exported operations were rejected (manual
+	// repair needed) or dropped during reapplication.
+	OnConflict func(u urn.URN, message string)
+	// OnInvalidate is told when a server callback invalidated a cached
+	// object.
+	OnInvalidate func(u urn.URN, newVersion uint64)
+}
+
+// AccessManager mediates all Rover interaction for one client.
+type AccessManager struct {
+	mu    sync.Mutex
+	cfg   Config
+	cache *cache.Cache
+	sess  *session.Session
+	envs  map[urn.URN]*rdo.Env
+	stats Stats
+}
+
+// New builds an access manager.
+func New(cfg Config) (*AccessManager, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("access: Engine is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.NewRealClock()
+	}
+	return &AccessManager{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheBytes),
+		sess:  session.New(cfg.Guarantees),
+		envs:  make(map[urn.URN]*rdo.Env),
+	}, nil
+}
+
+func (am *AccessManager) now() vtime.Time { return am.cfg.Clock.Now() }
+
+func pri(p qrpc.Priority) qrpc.Priority {
+	if p == 0 {
+		return qrpc.PriorityNormal
+	}
+	return p
+}
+
+// enqueue ships a QRPC and kicks the transport.
+func (am *AccessManager) enqueue(svc string, msg wire.Marshaler, p qrpc.Priority) (*qrpc.Promise, error) {
+	prom, err := am.cfg.Engine.Enqueue(svc, wire.Marshal(msg), pri(p), am.now())
+	if err != nil {
+		return nil, err
+	}
+	if am.cfg.Kick != nil {
+		am.cfg.Kick()
+	}
+	return prom, nil
+}
+
+// Import obtains an object, from the cache when permissible, otherwise by
+// queueing a QRPC to the home server. The returned future yields a private
+// clone: applications inspect it freely and mutate the real object only
+// through Invoke.
+func (am *AccessManager) Import(u urn.URN, opts ImportOptions) *Future[*rdo.Object] {
+	am.mu.Lock()
+	haveVersion := uint64(0)
+	if e, ok := am.cache.Get(u); ok {
+		haveVersion = e.CommittedVersion
+		tentativeOK := !(e.Tentative && opts.Tentative == RejectTentative)
+		fresh := am.sess.CheckRead(u, e.CommittedVersion) == nil
+		if !opts.Revalidate && tentativeOK && fresh {
+			am.stats.CacheServes++
+			obj := e.Obj.Clone()
+			am.sess.RecordRead(u, e.CommittedVersion)
+			am.mu.Unlock()
+			return resolvedFuture(obj, nil)
+		}
+	}
+	am.stats.ImportsSent++
+	am.mu.Unlock()
+
+	f := newFuture[*rdo.Object]()
+	prom, err := am.enqueue(proto.SvcImport, &proto.ImportArgs{URN: u, HaveVersion: haveVersion}, opts.Priority)
+	if err != nil {
+		f.resolve(nil, err)
+		return f
+	}
+	prom.OnComplete(func(p *qrpc.Promise) {
+		res, perr, _ := p.Result()
+		if perr != nil {
+			f.resolve(nil, perr)
+			return
+		}
+		var rep proto.ImportReply
+		if err := wire.Unmarshal(res, &rep); err != nil {
+			f.resolve(nil, err)
+			return
+		}
+		if rep.NotModified {
+			am.mu.Lock()
+			am.stats.NotModified++
+			e, ok := am.cache.Get(u)
+			if !ok {
+				am.mu.Unlock()
+				f.resolve(nil, fmt.Errorf("access: NotModified for %s but cache entry gone", u))
+				return
+			}
+			obj := e.Obj.Clone()
+			am.sess.RecordRead(u, e.CommittedVersion)
+			am.mu.Unlock()
+			f.resolve(obj, nil)
+			return
+		}
+		obj, err := rdo.Decode(rep.Object)
+		if err != nil {
+			f.resolve(nil, err)
+			return
+		}
+		am.mu.Lock()
+		am.adoptCommittedLocked(obj)
+		am.sess.RecordRead(u, obj.Version)
+		e, _ := am.cache.Get(u)
+		out := e.Obj.Clone()
+		am.mu.Unlock()
+		f.resolve(out, nil)
+	})
+	return f
+}
+
+// adoptCommittedLocked installs a fresh committed copy, replaying any
+// local tentative operations on top of it (the client-side analog of
+// Bayou's reapplication of tentative writes over new committed state).
+func (am *AccessManager) adoptCommittedLocked(committed *rdo.Object) {
+	u := committed.URN
+	e, ok := am.cache.Peek(u)
+	if !ok || len(e.PendingOps) == 0 {
+		entry := am.cache.Put(committed, am.now())
+		entry.Committed = nil // Obj itself is the clean committed copy
+		entry.Tentative = false
+		entry.PendingOps = nil
+		delete(am.envs, u)
+		return
+	}
+	// Rebase tentative ops onto the new committed state.
+	pending := e.PendingOps
+	base := committed.Clone()
+	env, err := am.newEnvLocked(base)
+	var kept []rdo.Invocation
+	if err != nil {
+		am.conflictLocked(u, fmt.Sprintf("loading new committed code: %v", err))
+	} else {
+		for _, op := range pending {
+			if _, err := env.Invoke(op.Method, op.Args...); err != nil {
+				am.conflictLocked(u, fmt.Sprintf("tentative %s dropped on rebase: %v", op.Method, err))
+				continue
+			}
+			kept = append(kept, op)
+		}
+		env.TakeOps()
+	}
+	entry := am.cache.Put(committed, am.now())
+	entry.Obj = base
+	entry.Committed = committed
+	entry.PendingOps = kept
+	entry.Tentative = len(kept) > 0
+	am.cache.Touch(u)
+	if err == nil {
+		am.envs[u] = env
+	} else {
+		delete(am.envs, u)
+	}
+}
+
+// rebuildWorkingLocked reconstructs the entry's working copy from its
+// pristine committed copy plus the recorded pending operations. Ops that
+// no longer apply are dropped with a conflict notification.
+func (am *AccessManager) rebuildWorkingLocked(e *cache.Entry) {
+	u := e.Obj.URN
+	base := e.Committed.Clone()
+	env, err := am.newEnvLocked(base)
+	if err != nil {
+		// Committed code no longer loads; keep the (tainted) working copy
+		// rather than losing state entirely.
+		am.conflictLocked(u, fmt.Sprintf("rebuild failed: %v", err))
+		return
+	}
+	var kept []rdo.Invocation
+	for _, op := range e.PendingOps {
+		if _, err := env.Invoke(op.Method, op.Args...); err != nil {
+			am.conflictLocked(u, fmt.Sprintf("tentative %s dropped on rebuild: %v", op.Method, err))
+			continue
+		}
+		kept = append(kept, op)
+	}
+	env.TakeOps()
+	e.Obj = base
+	e.PendingOps = kept
+	e.Tentative = len(kept) > 0
+	am.envs[u] = env
+	am.cache.Touch(u)
+}
+
+func (am *AccessManager) newEnvLocked(obj *rdo.Object) (*rdo.Env, error) {
+	return rdo.NewEnv(obj, rdo.EnvOptions{Sandbox: rdo.Trusted, Stdout: am.cfg.Stdout})
+}
+
+func (am *AccessManager) envForLocked(e *cache.Entry) (*rdo.Env, error) {
+	if env, ok := am.envs[e.Obj.URN]; ok && env.Object() == e.Obj {
+		return env, nil
+	}
+	env, err := am.newEnvLocked(e.Obj)
+	if err != nil {
+		return nil, err
+	}
+	am.envs[e.Obj.URN] = env
+	return env, nil
+}
+
+func (am *AccessManager) conflictLocked(u urn.URN, msg string) {
+	am.stats.Conflicts++
+	if am.cfg.OnConflict != nil {
+		cb := am.cfg.OnConflict
+		// Fire outside the lock to allow re-entry.
+		go cb(u, msg)
+	}
+}
+
+// Invoke executes a method on the locally cached RDO. Mutations become
+// tentative data queued for export (immediately, under AutoExport). This
+// is the fast path the paper measures against remote RPC: no network, no
+// queue — just the interpreter.
+func (am *AccessManager) Invoke(u urn.URN, method string, args ...string) (string, error) {
+	am.mu.Lock()
+	e, ok := am.cache.Get(u)
+	if !ok {
+		am.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNotCached, u)
+	}
+	env, err := am.envForLocked(e)
+	if err != nil {
+		am.mu.Unlock()
+		return "", err
+	}
+	// Copy-on-first-write: keep the pristine committed copy so a failing
+	// method's partial mutations can be rolled back.
+	if e.Committed == nil {
+		e.Committed = e.Obj.Clone()
+	}
+	result, err := env.Invoke(method, args...)
+	mutated := false
+	if err == nil {
+		if ops := env.TakeOps(); len(ops) > 0 {
+			e.PendingOps = append(e.PendingOps, rdo.Invocation{
+				Object: u, Method: method, Args: args, BaseVer: e.CommittedVersion,
+			})
+			e.Tentative = true
+			am.cache.Touch(u)
+			mutated = true
+		}
+	} else if len(env.TakeOps()) > 0 {
+		// The failed method mutated state before erroring. Rebuild the
+		// working copy from committed + surviving pending ops so no
+		// phantom state remains.
+		am.rebuildWorkingLocked(e)
+	}
+	am.stats.LocalInvokes++
+	autoExport := mutated && am.cfg.AutoExport && !e.ExportInFlight
+	am.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	if autoExport {
+		am.Export(u, qrpc.PriorityNormal)
+	}
+	return result, nil
+}
+
+// InvokeRemote executes a method at the object's home server without
+// importing it — function shipping, the right placement when the object
+// is large and the result small.
+func (am *AccessManager) InvokeRemote(u urn.URN, method string, args []string, p qrpc.Priority) *Future[InvokeResult] {
+	am.mu.Lock()
+	am.stats.RemoteInvokes++
+	am.mu.Unlock()
+	f := newFuture[InvokeResult]()
+	prom, err := am.enqueue(proto.SvcInvoke, &proto.InvokeArgs{URN: u, Method: method, Args: args}, p)
+	if err != nil {
+		f.resolve(InvokeResult{}, err)
+		return f
+	}
+	prom.OnComplete(func(pr *qrpc.Promise) {
+		res, perr, _ := pr.Result()
+		if perr != nil {
+			f.resolve(InvokeResult{}, perr)
+			return
+		}
+		var rep proto.InvokeReply
+		if err := wire.Unmarshal(res, &rep); err != nil {
+			f.resolve(InvokeResult{}, err)
+			return
+		}
+		if rep.Mutated {
+			am.mu.Lock()
+			am.sess.RecordWrite(u, rep.NewVersion)
+			// The local copy (if any) is now stale; drop clean copies so
+			// the next import refetches.
+			if e, ok := am.cache.Peek(u); ok && !e.Tentative && !e.ExportInFlight {
+				am.cache.Remove(u)
+				delete(am.envs, u)
+			}
+			am.mu.Unlock()
+		}
+		f.resolve(InvokeResult{Result: rep.Result, NewVersion: rep.NewVersion, Mutated: rep.Mutated}, nil)
+	})
+	return f
+}
+
+// InvokeBest is the dynamic-placement helper: "depending on the power of
+// the mobile host and the available bandwidth, Rover dynamically adapts
+// and moves functionality between the client and the server." The policy:
+// a cached object executes locally (free, works disconnected); an uncached
+// one ships the invocation to the server rather than paying the object
+// transfer for one call. Applications that know better call Invoke or
+// InvokeRemote directly.
+func (am *AccessManager) InvokeBest(u urn.URN, method string, args []string, p qrpc.Priority) *Future[InvokeResult] {
+	am.mu.Lock()
+	_, cached := am.cache.Peek(u)
+	am.mu.Unlock()
+	if cached {
+		result, err := am.Invoke(u, method, args...)
+		f := newFuture[InvokeResult]()
+		if err != nil {
+			f.resolve(InvokeResult{}, err)
+		} else {
+			am.mu.Lock()
+			ver := uint64(0)
+			if e, ok := am.cache.Peek(u); ok {
+				ver = e.CommittedVersion
+			}
+			am.mu.Unlock()
+			f.resolve(InvokeResult{Result: result, NewVersion: ver}, nil)
+		}
+		return f
+	}
+	return am.InvokeRemote(u, method, args, p)
+}
+
+// Export ships the object's queued tentative operations to its home
+// server. The future reports commit, automatic resolution, or conflict.
+func (am *AccessManager) Export(u urn.URN, p qrpc.Priority) (*Future[ExportResult], error) {
+	am.mu.Lock()
+	e, ok := am.cache.Peek(u)
+	if !ok {
+		am.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotCached, u)
+	}
+	if len(e.PendingOps) == 0 {
+		am.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNothingToExport, u)
+	}
+	if e.ExportInFlight {
+		am.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrExportInFlight, u)
+	}
+	e.ExportInFlight = true
+	e.InFlightCount = len(e.PendingOps)
+	invs := make([]rdo.Invocation, e.InFlightCount)
+	copy(invs, e.PendingOps)
+	args := &proto.ExportArgs{
+		URN:     u,
+		BaseVer: e.CommittedVersion,
+		Invs:    invs,
+		ReadDep: am.sess.ReadDependency(u),
+	}
+	am.stats.ExportsSent++
+	am.mu.Unlock()
+
+	f := newFuture[ExportResult]()
+	prom, err := am.enqueue(proto.SvcExport, args, p)
+	if err != nil {
+		am.mu.Lock()
+		e.ExportInFlight = false
+		e.InFlightCount = 0
+		am.mu.Unlock()
+		f.resolve(ExportResult{}, err)
+		return f, nil
+	}
+	prom.OnComplete(func(pr *qrpc.Promise) { am.onExportReply(u, f, pr) })
+	return f, nil
+}
+
+func (am *AccessManager) onExportReply(u urn.URN, f *Future[ExportResult], pr *qrpc.Promise) {
+	res, perr, _ := pr.Result()
+	am.mu.Lock()
+	e, ok := am.cache.Peek(u)
+	if !ok {
+		am.mu.Unlock()
+		f.resolve(ExportResult{}, fmt.Errorf("access: cache entry for %s vanished mid-export", u))
+		return
+	}
+	inFlight := e.InFlightCount
+	e.ExportInFlight = false
+	e.InFlightCount = 0
+
+	if perr != nil {
+		if strings.Contains(perr.Error(), "checked out") {
+			// Another client holds a check-out lock. That is a transient
+			// refusal, not a verdict on the operations: keep them queued
+			// and tentative so a later Export (after the lock clears)
+			// retries them.
+			am.mu.Unlock()
+			f.resolve(ExportResult{}, perr)
+			return
+		}
+		// The server executed our export and reported an application
+		// error (deterministic failure of the operations on an unchanged
+		// base). Drop the failed ops and refetch committed state.
+		e.PendingOps = append([]rdo.Invocation(nil), e.PendingOps[inFlight:]...)
+		e.Tentative = len(e.PendingOps) > 0
+		am.conflictLocked(u, perr.Error())
+		am.mu.Unlock()
+		am.Import(u, ImportOptions{Revalidate: true})
+		f.resolve(ExportResult{}, perr)
+		return
+	}
+	var rep proto.ExportReply
+	if err := wire.Unmarshal(res, &rep); err != nil {
+		am.mu.Unlock()
+		f.resolve(ExportResult{}, err)
+		return
+	}
+	// Every outcome returns the server's current object; the exported ops
+	// leave the pending queue (committed, merged, or parked in the repair
+	// queue), and the remainder rebases onto the fresh state.
+	e.PendingOps = append([]rdo.Invocation(nil), e.PendingOps[inFlight:]...)
+	switch rep.Outcome {
+	case proto.OutcomeCommitted, proto.OutcomeResolved:
+		am.sess.RecordWrite(u, rep.NewVersion)
+	case proto.OutcomeConflict:
+		am.conflictLocked(u, rep.Message)
+	}
+	if committed, err := rdo.Decode(rep.Object); err == nil {
+		am.adoptCommittedLocked(committed)
+	}
+	more := false
+	if e2, ok := am.cache.Peek(u); ok && len(e2.PendingOps) > 0 {
+		more = true
+	}
+	am.mu.Unlock()
+	if more && am.cfg.AutoExport {
+		am.Export(u, qrpc.PriorityNormal)
+	}
+	f.resolve(ExportResult{Outcome: rep.Outcome, NewVersion: rep.NewVersion, Message: rep.Message}, nil)
+}
+
+// ExportAll exports every object with tentative operations.
+func (am *AccessManager) ExportAll(p qrpc.Priority) []*Future[ExportResult] {
+	var out []*Future[ExportResult]
+	for _, u := range am.cache.TentativeURNs() {
+		if f, err := am.Export(u, p); err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Create registers a new object at its home server and caches it locally
+// on commit.
+func (am *AccessManager) Create(obj *rdo.Object, p qrpc.Priority) *Future[uint64] {
+	f := newFuture[uint64]()
+	snapshot := obj.Clone()
+	prom, err := am.enqueue(proto.SvcCreate, &proto.CreateArgs{Object: snapshot.Encode()}, p)
+	if err != nil {
+		f.resolve(0, err)
+		return f
+	}
+	prom.OnComplete(func(pr *qrpc.Promise) {
+		res, perr, _ := pr.Result()
+		if perr != nil {
+			f.resolve(0, perr)
+			return
+		}
+		var rep proto.CreateReply
+		if err := wire.Unmarshal(res, &rep); err != nil {
+			f.resolve(0, err)
+			return
+		}
+		committed := snapshot.Clone()
+		committed.Version = rep.Version
+		am.mu.Lock()
+		am.adoptCommittedLocked(committed)
+		am.sess.RecordWrite(committed.URN, rep.Version)
+		am.mu.Unlock()
+		f.resolve(rep.Version, nil)
+	})
+	return f
+}
+
+// Stat probes an object's existence and version at the server.
+func (am *AccessManager) Stat(u urn.URN, p qrpc.Priority) *Future[proto.StatReply] {
+	return enqueueDecoded[proto.StatReply](am, proto.SvcStat, &proto.StatArgs{URN: u}, p)
+}
+
+// List enumerates server objects under a prefix.
+func (am *AccessManager) List(prefix urn.URN, p qrpc.Priority) *Future[[]proto.ListEntry] {
+	f := newFuture[[]proto.ListEntry]()
+	inner := enqueueDecoded[proto.ListReply](am, proto.SvcList, &proto.ListArgs{Prefix: prefix}, p)
+	inner.OnReady(func(rep proto.ListReply, err error) {
+		f.resolve(rep.Entries, err)
+	})
+	return f
+}
+
+// Subscribe registers for invalidation callbacks on objects under prefix.
+func (am *AccessManager) Subscribe(prefix urn.URN, p qrpc.Priority) *Future[struct{}] {
+	f := newFuture[struct{}]()
+	prom, err := am.enqueue(proto.SvcSubscribe, &proto.SubscribeArgs{Prefix: prefix}, p)
+	if err != nil {
+		f.resolve(struct{}{}, err)
+		return f
+	}
+	prom.OnComplete(func(pr *qrpc.Promise) {
+		_, perr, _ := pr.Result()
+		f.resolve(struct{}{}, perr)
+	})
+	return f
+}
+
+// CheckoutResult reports a lock attempt.
+type CheckoutResult struct {
+	Granted bool
+	// Holder is the refusing holder, or the displaced holder on a forced
+	// grant.
+	Holder string
+}
+
+// Checkout requests an exclusive application-level lock on an object at
+// its home server — the check-in/check-out model the paper inherits from
+// Cedar for applications structured as independent atomic actions. While
+// held, other clients' exports and server-side invocations are refused
+// (they do not enter optimistic conflict resolution). Note the request
+// itself rides the queue: acquiring a lock requires connectivity, which is
+// the model's intent — take locks while connected, then disconnect and
+// work exclusively.
+func (am *AccessManager) Checkout(u urn.URN, force bool, p qrpc.Priority) *Future[CheckoutResult] {
+	f := newFuture[CheckoutResult]()
+	inner := enqueueDecoded[proto.CheckoutReply](am, proto.SvcCheckout, &proto.CheckoutArgs{URN: u, Force: force}, p)
+	inner.OnReady(func(rep proto.CheckoutReply, err error) {
+		f.resolve(CheckoutResult{Granted: rep.Granted, Holder: rep.Holder}, err)
+	})
+	return f
+}
+
+// Checkin releases a check-out lock held by this client.
+func (am *AccessManager) Checkin(u urn.URN, p qrpc.Priority) *Future[struct{}] {
+	f := newFuture[struct{}]()
+	prom, err := am.enqueue(proto.SvcCheckin, &proto.CheckinArgs{URN: u}, p)
+	if err != nil {
+		f.resolve(struct{}{}, err)
+		return f
+	}
+	prom.OnComplete(func(pr *qrpc.Promise) {
+		_, perr, _ := pr.Result()
+		f.resolve(struct{}{}, perr)
+	})
+	return f
+}
+
+// Conflicts fetches the server's manual-repair queue.
+func (am *AccessManager) Conflicts(p qrpc.Priority) *Future[[]proto.ConflictEntry] {
+	f := newFuture[[]proto.ConflictEntry]()
+	inner := enqueueDecoded[proto.ConflictsReply](am, proto.SvcConflicts, &emptyMsg{}, p)
+	inner.OnReady(func(rep proto.ConflictsReply, err error) {
+		f.resolve(rep.Conflicts, err)
+	})
+	return f
+}
+
+type emptyMsg struct{}
+
+func (emptyMsg) MarshalWire(*wire.Buffer) {}
+
+// enqueueDecoded is the generic request/decode plumbing for simple
+// services.
+func enqueueDecoded[T any, PT interface {
+	*T
+	wire.Unmarshaler
+}](am *AccessManager, svc string, args wire.Marshaler, p qrpc.Priority) *Future[T] {
+	f := newFuture[T]()
+	prom, err := am.enqueue(svc, args, p)
+	if err != nil {
+		var zero T
+		f.resolve(zero, err)
+		return f
+	}
+	prom.OnComplete(func(pr *qrpc.Promise) {
+		var zero T
+		res, perr, _ := pr.Result()
+		if perr != nil {
+			f.resolve(zero, perr)
+			return
+		}
+		var rep T
+		if err := wire.Unmarshal(res, PT(&rep)); err != nil {
+			f.resolve(zero, err)
+			return
+		}
+		f.resolve(rep, nil)
+	})
+	return f
+}
+
+// Prefetch imports an object at low priority, warming the cache for
+// disconnection ("this goal is usually accomplished during periods of
+// network connectivity by filling the cache with useful information").
+func (am *AccessManager) Prefetch(u urn.URN) *Future[*rdo.Object] {
+	am.mu.Lock()
+	am.stats.Prefetches++
+	am.mu.Unlock()
+	return am.Import(u, ImportOptions{Priority: qrpc.PriorityLow})
+}
+
+// PrefetchPrefix lists the objects under prefix and prefetches every one
+// not already cached. The returned future yields how many imports were
+// started.
+func (am *AccessManager) PrefetchPrefix(prefix urn.URN) *Future[int] {
+	f := newFuture[int]()
+	am.List(prefix, qrpc.PriorityLow).OnReady(func(entries []proto.ListEntry, err error) {
+		if err != nil {
+			f.resolve(0, err)
+			return
+		}
+		started := 0
+		for _, e := range entries {
+			am.mu.Lock()
+			cached, ok := am.cache.Peek(e.URN)
+			fresh := ok && cached.CommittedVersion >= e.Version
+			am.mu.Unlock()
+			if !fresh {
+				am.Prefetch(e.URN)
+				started++
+			}
+		}
+		f.resolve(started, nil)
+	})
+	return f
+}
+
+// HandleCallback processes a server-initiated notification; wire it to
+// qrpc.ClientConfig.OnCallback.
+func (am *AccessManager) HandleCallback(topic string, payload []byte) {
+	if topic != proto.TopicInvalidate {
+		return
+	}
+	var ev proto.InvalidateEvent
+	if err := wire.Unmarshal(payload, &ev); err != nil {
+		return
+	}
+	am.mu.Lock()
+	am.stats.Invalidations++
+	if e, ok := am.cache.Peek(ev.URN); ok && !e.Tentative && !e.ExportInFlight &&
+		ev.NewVersion > e.CommittedVersion {
+		am.cache.Remove(ev.URN)
+		delete(am.envs, ev.URN)
+	}
+	cb := am.cfg.OnInvalidate
+	am.mu.Unlock()
+	if cb != nil {
+		cb(ev.URN, ev.NewVersion)
+	}
+}
+
+// Uncache drops a clean cache entry. Tentative entries are pinned and
+// return ErrTentativePinned.
+func (am *AccessManager) Uncache(u urn.URN) error {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	e, ok := am.cache.Peek(u)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotCached, u)
+	}
+	if e.Tentative || e.ExportInFlight {
+		return fmt.Errorf("%w: %s", ErrTentativePinned, u)
+	}
+	am.cache.Remove(u)
+	delete(am.envs, u)
+	return nil
+}
+
+// Cached reports whether u is in the cache (any state).
+func (am *AccessManager) Cached(u urn.URN) bool {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	_, ok := am.cache.Peek(u)
+	return ok
+}
+
+// Tentative reports whether u carries uncommitted local operations.
+func (am *AccessManager) Tentative(u urn.URN) bool {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	e, ok := am.cache.Peek(u)
+	return ok && e.Tentative
+}
+
+// Status returns the user-notification snapshot (connectivity, queue
+// depths, tentative object count).
+func (am *AccessManager) Status() Status {
+	st := Status{StatusInfo: am.cfg.Engine.Status()}
+	am.mu.Lock()
+	st.CachedObjects = am.cache.Len()
+	am.mu.Unlock()
+	st.TentativeObjects = len(am.cache.TentativeURNs())
+	return st
+}
+
+// Stats returns a counters snapshot.
+func (am *AccessManager) Stats() Stats {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.stats
+}
+
+// Session exposes the session-guarantee state (diagnostics and tests).
+func (am *AccessManager) Session() *session.Session { return am.sess }
+
+// CacheStats exposes cache counters for the harness.
+func (am *AccessManager) CacheStats() cache.Stats { return am.cache.Stats() }

@@ -1,0 +1,109 @@
+package access
+
+import (
+	"context"
+	"sync"
+)
+
+// Future is the access manager's typed promise. Import, Export, and the
+// other non-blocking operations return one; applications may wait on it,
+// poll it, or register a callback — the three interaction styles the
+// paper's promise discussion describes.
+type Future[T any] struct {
+	done chan struct{}
+
+	mu       sync.Mutex
+	val      T
+	err      error
+	complete bool
+	cbs      []func(T, error)
+}
+
+func newFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// NewFuture returns an incomplete future for applications composing their
+// own asynchronous results on top of the toolkit's (the web proxy chains
+// page decoding onto imports this way).
+func NewFuture[T any]() *Future[T] { return newFuture[T]() }
+
+// Resolve completes the future successfully. Only the first completion
+// (Resolve or Fail) wins.
+func (f *Future[T]) Resolve(v T) { f.resolve(v, nil) }
+
+// Fail completes the future with an error.
+func (f *Future[T]) Fail(err error) {
+	var zero T
+	f.resolve(zero, err)
+}
+
+// resolvedFuture returns an already-completed future (cache fast path).
+func resolvedFuture[T any](v T, err error) *Future[T] {
+	f := newFuture[T]()
+	f.resolve(v, err)
+	return f
+}
+
+func (f *Future[T]) resolve(v T, err error) {
+	f.mu.Lock()
+	if f.complete {
+		f.mu.Unlock()
+		return
+	}
+	f.val = v
+	f.err = err
+	f.complete = true
+	cbs := f.cbs
+	f.cbs = nil
+	close(f.done)
+	f.mu.Unlock()
+	for _, cb := range cbs {
+		cb(v, err)
+	}
+}
+
+// Ready reports whether the future has completed.
+func (f *Future[T]) Ready() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.complete
+}
+
+// Done returns a channel closed on completion.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Result returns the outcome; ok is false until completion.
+func (f *Future[T]) Result() (v T, err error, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.err, f.complete
+}
+
+// Wait blocks until completion or context cancellation.
+func (f *Future[T]) Wait(ctx context.Context) (T, error) {
+	select {
+	case <-f.done:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// OnReady registers a completion callback; it fires immediately if the
+// future already completed. Callbacks run on the delivery path and must
+// not block; they may start further Rover operations (click-ahead).
+func (f *Future[T]) OnReady(cb func(T, error)) {
+	f.mu.Lock()
+	if f.complete {
+		v, err := f.val, f.err
+		f.mu.Unlock()
+		cb(v, err)
+		return
+	}
+	f.cbs = append(f.cbs, cb)
+	f.mu.Unlock()
+}

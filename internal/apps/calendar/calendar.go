@@ -1,0 +1,178 @@
+// Package calendar is the Rover distributed calendar — the reproduction of
+// the paper's Rover Ical port and of the Bayou calendar example the paper
+// credits ("Rover borrows the notions of tentative data, session
+// guarantees, and the calendar tool example from the Bayou project").
+//
+// An appointment book is one RDO shared by a workgroup. Scheduling while
+// disconnected produces *tentative* appointments, visible immediately in
+// the local copy and marked as such in the UI; on reconnection the queued
+// operations export, and the home server either commits them, merges them
+// (non-overlapping appointments commute), or rejects true slot collisions
+// into the repair queue — exactly the paper's motivating scenario of two
+// people booking the same room from two disconnected laptops.
+package calendar
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rover"
+	"rover/internal/rscript"
+)
+
+// BookType is the appointment book's object type (its resolver key).
+const BookType = "calendar"
+
+// bookCode is the appointment book RDO. Slots are "<day>.<hour>" keys
+// holding "owner\x1ftitle".
+const bookCode = `
+	proc schedule {slot owner title} {
+		if {[state exists s$slot]} {
+			error "slot $slot taken: [state get s$slot]"
+		}
+		state set s$slot "$owner\x1f$title"
+	}
+	proc cancel {slot owner} {
+		if {![state exists s$slot]} { error "slot $slot is free" }
+		set cur [state get s$slot]
+		set sep [string first "\x1f" $cur]
+		set who [string range $cur 0 [expr {$sep - 1}]]
+		if {$who ne $owner} { error "slot $slot belongs to $who" }
+		state unset s$slot
+	}
+	proc whoHas {slot} {
+		if {![state exists s$slot]} { return "" }
+		state get s$slot
+	}
+	proc slots {} { state keys }
+	proc count {} { state size }
+`
+
+// Appointment is one calendar entry.
+type Appointment struct {
+	Slot      string // "<day>.<hour>", e.g. "1995-12-07.10"
+	Owner     string
+	Title     string
+	Tentative bool
+}
+
+// Book is a client-side handle on a shared appointment book.
+type Book struct {
+	cli   *rover.Client
+	urn   rover.URN
+	owner string
+}
+
+// URNFor names a group's appointment book.
+func URNFor(authority, group string) rover.URN {
+	return rover.MustParseURN(fmt.Sprintf("urn:rover:%s/cal/%s", authority, group))
+}
+
+// NewObject builds a fresh appointment-book RDO (for seeding or Create).
+func NewObject(u rover.URN) *rover.Object {
+	obj := rover.NewObject(u, BookType)
+	obj.Code = bookCode
+	return obj
+}
+
+// Open imports the book (cache-first) and returns a handle for the given
+// owner identity.
+func Open(ctx context.Context, cli *rover.Client, u rover.URN, owner string) (*Book, error) {
+	if _, err := cli.Import(u, rover.ImportOptions{}).Wait(ctx); err != nil {
+		return nil, fmt.Errorf("calendar: open %s: %w", u, err)
+	}
+	return &Book{cli: cli, urn: u, owner: owner}, nil
+}
+
+// URN returns the book's object name.
+func (b *Book) URN() rover.URN { return b.urn }
+
+// Schedule books a slot. Disconnected, the booking is tentative — it
+// appears immediately and exports when connectivity returns. A local error
+// means the slot is already taken *in this replica's view*.
+func (b *Book) Schedule(slot, title string) error {
+	_, err := b.cli.Invoke(b.urn, "schedule", slot, b.owner, title)
+	if err != nil {
+		return fmt.Errorf("calendar: %w", err)
+	}
+	return nil
+}
+
+// Cancel releases a slot this owner holds.
+func (b *Book) Cancel(slot string) error {
+	_, err := b.cli.Invoke(b.urn, "cancel", slot, b.owner)
+	if err != nil {
+		return fmt.Errorf("calendar: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the appointment in a slot, if any.
+func (b *Book) Lookup(slot string) (Appointment, bool, error) {
+	v, err := b.cli.Invoke(b.urn, "whoHas", slot)
+	if err != nil {
+		return Appointment{}, false, err
+	}
+	if v == "" {
+		return Appointment{}, false, nil
+	}
+	ap := parseSlot(slot, v)
+	ap.Tentative = b.cli.Tentative(b.urn)
+	return ap, true, nil
+}
+
+// Agenda lists all appointments, sorted by slot. Tentative reflects the
+// whole replica's tentativeness (any uncommitted local operation).
+func (b *Book) Agenda() ([]Appointment, error) {
+	raw, err := b.cli.Invoke(b.urn, "slots")
+	if err != nil {
+		return nil, err
+	}
+	keys, err := rscript.ParseList(raw)
+	if err != nil {
+		return nil, err
+	}
+	tentative := b.cli.Tentative(b.urn)
+	var out []Appointment
+	for _, k := range keys {
+		slot, ok := strings.CutPrefix(k, "s")
+		if !ok {
+			continue
+		}
+		v, err := b.cli.Invoke(b.urn, "whoHas", slot)
+		if err != nil || v == "" {
+			continue
+		}
+		ap := parseSlot(slot, v)
+		ap.Tentative = tentative
+		out = append(out, ap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out, nil
+}
+
+// Sync forces an export of pending operations (normally AutoExport does
+// this) and reports the outcome future, or nil when nothing is pending.
+func (b *Book) Sync() *rover.Future[rover.ExportResult] {
+	f, err := b.cli.Export(b.urn, rover.PriorityNormal)
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// Tentative reports whether this replica holds uncommitted bookings.
+func (b *Book) Tentative() bool { return b.cli.Tentative(b.urn) }
+
+func parseSlot(slot, v string) Appointment {
+	ap := Appointment{Slot: slot}
+	if sep := strings.IndexByte(v, '\x1f'); sep >= 0 {
+		ap.Owner = v[:sep]
+		ap.Title = v[sep+1:]
+	} else {
+		ap.Title = v
+	}
+	return ap
+}

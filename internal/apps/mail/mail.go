@@ -1,0 +1,226 @@
+// Package mail is the Rover mail reader — the reproduction of the paper's
+// Rover Exmh port.
+//
+// The paper turned Exmh, a Tcl/Tk mail user agent, into a roving
+// application: folders and messages became Rover objects, message fetches
+// became imports (prefetched in bulk while connected), flag changes became
+// queued tentative operations, and sending mail became a queued RPC that
+// drains whenever connectivity returns. This package implements the same
+// structure against the toolkit's public API:
+//
+//   - a folder RDO (type "mailfolder") holds per-message summary lines and
+//     flags; its methods add messages, change flags, and list summaries;
+//   - a message RDO (type "mailmsg") holds the full header and body;
+//   - Reader wraps a rover.Client with folder listing, message reading
+//     (marking seen is a tentative op), composing (a queued create +
+//     folder append), and whole-folder prefetch for disconnection.
+package mail
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"rover"
+	"rover/internal/rscript"
+)
+
+// Type names used by the mail application's objects.
+const (
+	FolderType  = "mailfolder"
+	MessageType = "mailmsg"
+)
+
+// folderCode is the folder RDO's method suite. Message index entries are
+// state keys "m<id>" holding "flags\x1fsummary".
+const folderCode = `
+	proc addmsg {id summary} {
+		if {[state exists m$id]} { error "message $id exists" }
+		state set m$id "-|$summary"
+		state set order [concat [state get order {}] [list $id]]
+	}
+	proc setflag {id flag} {
+		if {![state exists m$id]} { error "no message $id" }
+		set cur [state get m$id]
+		set sep [string first | $cur]
+		set flags [string range $cur 0 [expr {$sep - 1}]]
+		set summary [string range $cur [expr {$sep + 1}] end]
+		if {$flags eq "-"} { set flags "" }
+		if {[string first $flag $flags] < 0} { append flags $flag }
+		state set m$id "$flags|$summary"
+	}
+	proc entry {id} {
+		if {![state exists m$id]} { error "no message $id" }
+		state get m$id
+	}
+	proc ids {} { state get order {} }
+	proc count {} { llength [state get order {}] }
+`
+
+// messageCode is the message RDO's method suite.
+const messageCode = `
+	proc header {field} { state get h$field "" }
+	proc body {} { state get body "" }
+	proc size {} { string length [state get body ""] }
+`
+
+// Summary is one folder index row.
+type Summary struct {
+	ID      string
+	Flags   string // e.g. "S" seen, "A" answered, "D" deleted
+	From    string
+	Subject string
+}
+
+// Message is a fully imported message.
+type Message struct {
+	ID      string
+	From    string
+	To      string
+	Subject string
+	Date    string
+	Body    string
+}
+
+// Reader is a Rover mail user agent bound to one authority (mail server
+// namespace).
+type Reader struct {
+	cli       *rover.Client
+	authority string
+}
+
+// NewReader builds a reader over an existing Rover client.
+func NewReader(cli *rover.Client, authority string) *Reader {
+	return &Reader{cli: cli, authority: authority}
+}
+
+// FolderURN names a folder object.
+func (r *Reader) FolderURN(folder string) rover.URN {
+	return rover.MustParseURN(fmt.Sprintf("urn:rover:%s/mail/%s", r.authority, folder))
+}
+
+// MessageURN names a message object within a folder.
+func (r *Reader) MessageURN(folder, id string) rover.URN {
+	return rover.MustParseURN(fmt.Sprintf("urn:rover:%s/mail/%s/msg/%s", r.authority, folder, id))
+}
+
+// ListFolder imports the folder object (cache-first) and returns its
+// summaries. Works disconnected once the folder is cached.
+func (r *Reader) ListFolder(ctx context.Context, folder string) ([]Summary, error) {
+	u := r.FolderURN(folder)
+	if _, err := r.cli.Import(u, rover.ImportOptions{}).Wait(ctx); err != nil {
+		return nil, fmt.Errorf("mail: open folder %q: %w", folder, err)
+	}
+	idsList, err := r.cli.Invoke(u, "ids")
+	if err != nil {
+		return nil, err
+	}
+	ids, err := rscript.ParseList(idsList)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Summary, 0, len(ids))
+	for _, id := range ids {
+		raw, err := r.cli.Invoke(u, "entry", id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parseEntry(id, raw))
+	}
+	return out, nil
+}
+
+func parseEntry(id, raw string) Summary {
+	s := Summary{ID: id}
+	sep := strings.IndexByte(raw, '|')
+	if sep < 0 {
+		s.Subject = raw
+		return s
+	}
+	if f := raw[:sep]; f != "-" {
+		s.Flags = f
+	}
+	fields := strings.SplitN(raw[sep+1:], "\x1f", 2)
+	s.From = fields[0]
+	if len(fields) > 1 {
+		s.Subject = fields[1]
+	}
+	return s
+}
+
+// Read imports a message (cache-first) and marks it seen — a tentative
+// operation on the folder that exports like any other update.
+func (r *Reader) Read(ctx context.Context, folder, id string) (Message, error) {
+	mu := r.MessageURN(folder, id)
+	obj, err := r.cli.Import(mu, rover.ImportOptions{Priority: rover.PriorityHigh}).Wait(ctx)
+	if err != nil {
+		return Message{}, fmt.Errorf("mail: read %s: %w", id, err)
+	}
+	msg := Message{ID: id}
+	get := func(k string) string {
+		v, _ := obj.Get(k)
+		return v
+	}
+	msg.From = get("hfrom")
+	msg.To = get("hto")
+	msg.Subject = get("hsubject")
+	msg.Date = get("hdate")
+	msg.Body = get("body")
+	// Mark seen on the folder if we have it cached; reading a message you
+	// found via a listing always has the folder cached.
+	fu := r.FolderURN(folder)
+	if r.cli.Cached(fu) {
+		if _, err := r.cli.Invoke(fu, "setflag", id, "S"); err != nil {
+			return msg, fmt.Errorf("mail: flag %s seen: %w", id, err)
+		}
+	}
+	return msg, nil
+}
+
+// Compose creates a new message object and appends it to the folder index.
+// Both operations queue; composing works fully disconnected, which is the
+// Eudora/Exmh use case the paper highlights. The returned future commits
+// when the create lands at the server.
+func (r *Reader) Compose(folder string, msg Message) (*rover.Future[uint64], error) {
+	if msg.ID == "" {
+		return nil, fmt.Errorf("mail: message needs an ID")
+	}
+	obj := rover.NewObject(r.MessageURN(folder, msg.ID), MessageType)
+	obj.Code = messageCode
+	obj.Set("hfrom", msg.From)
+	obj.Set("hto", msg.To)
+	obj.Set("hsubject", msg.Subject)
+	obj.Set("hdate", msg.Date)
+	obj.Set("body", msg.Body)
+	f := r.cli.Create(obj, rover.PriorityNormal)
+
+	fu := r.FolderURN(folder)
+	if r.cli.Cached(fu) {
+		summary := msg.From + "\x1f" + msg.Subject
+		if _, err := r.cli.Invoke(fu, "addmsg", msg.ID, summary); err != nil {
+			return f, fmt.Errorf("mail: index update: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// MarkAnswered flags a message answered (tentative).
+func (r *Reader) MarkAnswered(folder, id string) error {
+	_, err := r.cli.Invoke(r.FolderURN(folder), "setflag", id, "A")
+	return err
+}
+
+// Delete flags a message deleted (tentative; expunge is a server-side
+// operation in this model).
+func (r *Reader) Delete(folder, id string) error {
+	_, err := r.cli.Invoke(r.FolderURN(folder), "setflag", id, "D")
+	return err
+}
+
+// PrefetchFolder warms the cache with the folder index and every message
+// body, at low priority — the connected-time preparation for disconnected
+// reading.
+func (r *Reader) PrefetchFolder(folder string) *rover.Future[int] {
+	prefix := rover.MustParseURN(fmt.Sprintf("urn:rover:%s/mail/%s", r.authority, folder))
+	return r.cli.PrefetchPrefix(prefix)
+}

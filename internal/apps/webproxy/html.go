@@ -1,0 +1,48 @@
+package webproxy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderHTML formats a page as the minimal HTML a mid-90s browser would
+// receive from the proxy's front end.
+func RenderHTML(p Page) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<html><head><title>%s</title></head><body>\n", escapeHTML(p.Title))
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n<p>%s</p>\n<ul>\n", escapeHTML(p.Title), escapeHTML(p.Body))
+	for _, l := range p.Links {
+		fmt.Fprintf(&sb, `<li><a href="/%s">%s</a></li>`+"\n", l, escapeHTML(l))
+	}
+	sb.WriteString("</ul></body></html>\n")
+	return []byte(sb.String())
+}
+
+// ExtractLinks pulls href targets out of an HTML document — what the
+// proxy's prefetcher does to real pages fetched for unmodified browsers.
+// Only local absolute paths ("/p1") are returned, without the slash.
+func ExtractLinks(html []byte) []string {
+	var out []string
+	s := string(html)
+	for {
+		i := strings.Index(s, `href="`)
+		if i < 0 {
+			return out
+		}
+		s = s[i+len(`href="`):]
+		j := strings.IndexByte(s, '"')
+		if j < 0 {
+			return out
+		}
+		target := s[:j]
+		s = s[j:]
+		if strings.HasPrefix(target, "/") && len(target) > 1 {
+			out = append(out, target[1:])
+		}
+	}
+}
+
+func escapeHTML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,239 @@
+// Package httpmini implements the "very restricted subset of HTTP" of the
+// paper's standalone Rover server: enough HTTP/1.0 for an unmodified
+// browser to GET pages from the Rover web proxy. The parser and writer are
+// hand-rolled over net.Conn — the point of this substrate is the protocol
+// surface, not a production web server.
+package httpmini
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+}
+
+// Response is what a handler returns.
+type Response struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Handler serves one request.
+type Handler func(Request) Response
+
+// statusText covers the subset we emit.
+var statusText = map[int]string{
+	200: "OK",
+	400: "Bad Request",
+	404: "Not Found",
+	500: "Internal Server Error",
+	504: "Gateway Timeout",
+}
+
+// Server is a minimal HTTP/1.0 server.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	req, err := ReadRequest(bufio.NewReader(conn))
+	if err != nil {
+		WriteResponse(conn, Response{Status: 400, ContentType: "text/plain", Body: []byte(err.Error() + "\n")})
+		return
+	}
+	resp := s.handler(req)
+	WriteResponse(conn, resp)
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ReadRequest parses an HTTP/1.0-style request from r.
+func ReadRequest(r *bufio.Reader) (Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Request{}, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return Request{}, fmt.Errorf("httpmini: malformed request line %q", line)
+	}
+	req := Request{
+		Method:  parts[0],
+		Path:    parts[1],
+		Proto:   parts[2],
+		Headers: make(map[string]string),
+	}
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return Request{}, fmt.Errorf("httpmini: method %q not in the restricted subset", req.Method)
+	}
+	if !strings.HasPrefix(req.Path, "/") {
+		return Request{}, fmt.Errorf("httpmini: non-absolute path %q", req.Path)
+	}
+	for {
+		h, err := readLine(r)
+		if err != nil {
+			return Request{}, err
+		}
+		if h == "" {
+			return req, nil
+		}
+		if colon := strings.IndexByte(h, ':'); colon > 0 {
+			key := strings.ToLower(strings.TrimSpace(h[:colon]))
+			req.Headers[key] = strings.TrimSpace(h[colon+1:])
+		}
+	}
+}
+
+// WriteResponse emits an HTTP/1.0 response.
+func WriteResponse(w io.Writer, resp Response) error {
+	if resp.Status == 0 {
+		resp.Status = 200
+	}
+	text, ok := statusText[resp.Status]
+	if !ok {
+		text = "Status"
+	}
+	if resp.ContentType == "" {
+		resp.ContentType = "text/html"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.0 %d %s\r\n", resp.Status, text)
+	fmt.Fprintf(&sb, "Content-Type: %s\r\n", resp.ContentType)
+	fmt.Fprintf(&sb, "Content-Length: %d\r\n", len(resp.Body))
+	sb.WriteString("Server: rover-httpmini/1.0\r\n\r\n")
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}
+
+// Get is a minimal HTTP/1.0 client for tests and examples.
+func Get(addr, path string) (Response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Response{}, err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n", path, addr)
+	r := bufio.NewReader(conn)
+	statusLine, err := readLine(r)
+	if err != nil {
+		return Response{}, err
+	}
+	parts := strings.SplitN(statusLine, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return Response{}, fmt.Errorf("httpmini: bad status line %q", statusLine)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Response{}, fmt.Errorf("httpmini: bad status %q", parts[1])
+	}
+	resp := Response{Status: status}
+	length := -1
+	for {
+		h, err := readLine(r)
+		if err != nil {
+			return Response{}, err
+		}
+		if h == "" {
+			break
+		}
+		if colon := strings.IndexByte(h, ':'); colon > 0 {
+			key := strings.ToLower(strings.TrimSpace(h[:colon]))
+			val := strings.TrimSpace(h[colon+1:])
+			switch key {
+			case "content-type":
+				resp.ContentType = val
+			case "content-length":
+				if n, err := strconv.Atoi(val); err == nil {
+					length = n
+				}
+			}
+		}
+	}
+	if length >= 0 {
+		resp.Body = make([]byte, length)
+		if _, err := io.ReadFull(r, resp.Body); err != nil {
+			return Response{}, err
+		}
+	} else {
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Body = body
+	}
+	return resp, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line != "" {
+			err = errors.New("httpmini: truncated line")
+		}
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

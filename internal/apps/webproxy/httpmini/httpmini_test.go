@@ -1,0 +1,135 @@
+package httpmini
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+func echoServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", func(req Request) Response {
+		return Response{
+			Status:      200,
+			ContentType: "text/plain",
+			Body:        []byte(req.Method + " " + req.Path + " " + req.Proto),
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	srv := echoServer(t)
+	resp, err := Get(srv.Addr(), "/some/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "GET /some/path HTTP/1.0" {
+		t.Errorf("resp: %d %q", resp.Status, resp.Body)
+	}
+	if resp.ContentType != "text/plain" {
+		t.Errorf("content type %q", resp.ContentType)
+	}
+}
+
+func rawRequest(t *testing.T, addr, raw string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, raw)
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestRejectsNonSubsetMethods(t *testing.T) {
+	srv := echoServer(t)
+	got := rawRequest(t, srv.Addr(), "POST /x HTTP/1.0\r\n\r\n")
+	if !strings.HasPrefix(got, "HTTP/1.0 400") {
+		t.Errorf("POST: %q", firstLine(got))
+	}
+	got = rawRequest(t, srv.Addr(), "GET relative HTTP/1.0\r\n\r\n")
+	if !strings.HasPrefix(got, "HTTP/1.0 400") {
+		t.Errorf("relative path: %q", firstLine(got))
+	}
+	got = rawRequest(t, srv.Addr(), "garbage\r\n\r\n")
+	if !strings.HasPrefix(got, "HTTP/1.0 400") {
+		t.Errorf("garbage: %q", firstLine(got))
+	}
+}
+
+func TestHeadersParsed(t *testing.T) {
+	var seen map[string]string
+	srv, err := Serve("127.0.0.1:0", func(req Request) Response {
+		seen = req.Headers
+		return Response{Status: 200, Body: []byte("ok")}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rawRequest(t, srv.Addr(), "GET / HTTP/1.0\r\nUser-Agent: Mosaic/2.6\r\nX-Thing:  padded  \r\n\r\n")
+	if seen["user-agent"] != "Mosaic/2.6" || seen["x-thing"] != "padded" {
+		t.Errorf("headers: %v", seen)
+	}
+}
+
+func TestWriteResponseDefaults(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteResponse(&sb, Response{Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "HTTP/1.0 200 OK\r\n") {
+		t.Errorf("status line: %q", firstLine(out))
+	}
+	if !strings.Contains(out, "Content-Type: text/html\r\n") ||
+		!strings.Contains(out, "Content-Length: 2\r\n") {
+		t.Errorf("headers: %q", out)
+	}
+	if !strings.HasSuffix(out, "\r\n\r\nhi") {
+		t.Errorf("body framing: %q", out)
+	}
+}
+
+func TestReadRequestDirect(t *testing.T) {
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader("HEAD /x HTTP/1.0\r\nHost: h\r\n\r\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "HEAD" || req.Path != "/x" || req.Headers["host"] != "h" {
+		t.Errorf("req: %+v", req)
+	}
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader("GET /x"))); err == nil {
+		t.Error("truncated request accepted")
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	if _, err := Get("127.0.0.1:1", "/"); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

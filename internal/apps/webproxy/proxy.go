@@ -1,0 +1,161 @@
+package webproxy
+
+import (
+	"sync"
+	"time"
+
+	"rover"
+	"rover/internal/vtime"
+)
+
+// ProxyStats counts proxy activity; the F-WEB experiment reads them.
+type ProxyStats struct {
+	Requests     int64
+	CacheHits    int64
+	Outstanding  int64 // current, not cumulative
+	Satisfied    int64
+	Prefetches   int64
+	PrefetchHits int64 // requests answered by a previously prefetched page
+}
+
+// Proxy is the Rover web browser proxy: a non-blocking, caching,
+// prefetching page source.
+type Proxy struct {
+	cli       *rover.Client
+	authority string
+	clock     vtime.Clock
+
+	// PrefetchThreshold: when a page fetch takes longer than this, the
+	// proxy prefetches the page's direct links at low priority ("if the
+	// delay is above a user-specified threshold, documents that are
+	// directly accessible from the one requested are prefetched"). Zero
+	// disables prefetching.
+	PrefetchThreshold time.Duration
+
+	mu          sync.Mutex
+	outstanding map[string]*rover.Future[Page]
+	prefetched  map[string]bool
+	stats       ProxyStats
+}
+
+// NewProxy builds a proxy over an existing client. A nil clock selects
+// real time.
+func NewProxy(cli *rover.Client, authority string, clock vtime.Clock) *Proxy {
+	if clock == nil {
+		clock = vtime.NewRealClock()
+	}
+	return &Proxy{
+		cli:         cli,
+		authority:   authority,
+		clock:       clock,
+		outstanding: make(map[string]*rover.Future[Page]),
+		prefetched:  make(map[string]bool),
+	}
+}
+
+// Browse requests a page. It never blocks: cached pages resolve
+// immediately, misses queue a high-priority QRPC and resolve when the
+// page arrives (maybe after reconnection). Concurrent requests for the
+// same page share one future.
+func (p *Proxy) Browse(path string) *rover.Future[Page] {
+	u := PageURN(p.authority, path)
+	p.mu.Lock()
+	p.stats.Requests++
+	if f, ok := p.outstanding[path]; ok {
+		p.mu.Unlock()
+		return f
+	}
+	cached := p.cli.Cached(u)
+	if cached {
+		p.stats.CacheHits++
+		if p.prefetched[path] {
+			p.stats.PrefetchHits++
+		}
+	} else {
+		p.stats.Outstanding++
+	}
+	p.mu.Unlock()
+
+	start := p.clock.Now()
+	f := rover.NewFuture[Page]()
+	p.cli.Import(u, rover.ImportOptions{Priority: rover.PriorityHigh}).OnReady(
+		func(obj *rover.Object, err error) {
+			p.mu.Lock()
+			delete(p.outstanding, path)
+			if !cached {
+				p.stats.Outstanding--
+				p.stats.Satisfied++
+			}
+			p.mu.Unlock()
+			if err != nil {
+				f.Fail(err)
+				return
+			}
+			page, perr := PageFromObject(obj)
+			if perr != nil {
+				f.Fail(perr)
+				return
+			}
+			elapsed := p.clock.Now().Sub(start)
+			if p.PrefetchThreshold > 0 && elapsed > p.PrefetchThreshold {
+				p.prefetchLinks(page.Links)
+			}
+			f.Resolve(page)
+		})
+	if !cached {
+		p.mu.Lock()
+		if _, ok := p.outstanding[path]; !ok && !f.Ready() {
+			p.outstanding[path] = f
+		}
+		p.mu.Unlock()
+	}
+	return f
+}
+
+// ClickAhead queues requests for several pages at once — the user clicking
+// past the data that has arrived. Futures resolve independently as pages
+// come in.
+func (p *Proxy) ClickAhead(paths ...string) []*rover.Future[Page] {
+	out := make([]*rover.Future[Page], len(paths))
+	for i, path := range paths {
+		out[i] = p.Browse(path)
+	}
+	return out
+}
+
+// prefetchLinks imports linked pages at low priority.
+func (p *Proxy) prefetchLinks(links []string) {
+	for _, l := range links {
+		u := PageURN(p.authority, l)
+		p.mu.Lock()
+		already := p.prefetched[l] || p.cli.Cached(u)
+		if !already {
+			p.prefetched[l] = true
+			p.stats.Prefetches++
+		}
+		p.mu.Unlock()
+		if !already {
+			p.cli.Prefetch(u)
+		}
+	}
+}
+
+// OutstandingPaths lists pages requested but not yet arrived — the
+// "displayed list of outstanding and satisfied requests" of the paper's
+// disconnected browser UI.
+func (p *Proxy) OutstandingPaths() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.outstanding))
+	for path := range p.outstanding {
+		out = append(out, path)
+	}
+	return out
+}
+
+// Stats returns a counters snapshot.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

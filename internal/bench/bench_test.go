@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rover/internal/netsim"
+)
+
+// TestAllExperimentsQuick smoke-runs every registered experiment at quick
+// scale and sanity-checks the emitted tables.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("%s: row width %d != %d columns: %v", e.ID, len(row), len(tbl.Columns), row)
+				}
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("render missing ID:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) < 15 {
+		t.Errorf("only %d experiments registered", len(All()))
+	}
+	if _, ok := Lookup("T3"); !ok {
+		t.Error("T3 missing")
+	}
+	if _, ok := Lookup("NOPE"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+	ids := IDs()
+	if ids[0] != "T1" || ids[2] != "T3" {
+		t.Errorf("order: %v", ids)
+	}
+}
+
+// TestT3Shape asserts the headline result: QRPC's relative overhead must
+// collapse as links slow down.
+func TestT3Shape(t *testing.T) {
+	tbl, err := ExpT3(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order follows StandardLinks: ethernet ... cslip2.4. Parse the
+	// overhead% column.
+	pct := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", row[4])
+		}
+		return v
+	}
+	fast := pct(tbl.Rows[0])
+	slow := pct(tbl.Rows[len(tbl.Rows)-1])
+	if slow >= fast {
+		t.Errorf("overhead share did not collapse: ethernet %.1f%% vs cslip2.4 %.1f%%", fast, slow)
+	}
+	// On the slowest link, QRPC's extra bytes (headers, acks) plus the
+	// flush must stay a modest fraction of the transfer-dominated total.
+	if slow > 20 {
+		t.Errorf("QRPC overhead on cslip2.4 is %.1f%%, want < 20%%", slow)
+	}
+}
+
+// TestE56Shape asserts the paper's 56x claim holds in order of magnitude:
+// local invocation must beat CSLIP14.4 RPC by a large factor.
+func TestE56Shape(t *testing.T) {
+	tbl, err := ExpE56(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	if !strings.Contains(tbl.Rows[1][2], "x slower") {
+		t.Errorf("ratio cell: %q", tbl.Rows[1][2])
+	}
+}
+
+// TestFRDOShape asserts the migration crossover: remote invocation wins on
+// the slow links (shipping a big object over a modem loses), shipping wins
+// on nothing slower than... — and the ship column must grow as links slow.
+func TestFRDOShape(t *testing.T) {
+	tbl, err := ExpFRDO(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On cslip2.4 the remote invoke must win for a single query.
+	slowRow := tbl.Rows[3]
+	if slowRow[0] != netsim.CSLIP2k4.Name {
+		t.Fatalf("row order: %v", slowRow)
+	}
+	if slowRow[3] != "remote invoke" {
+		t.Errorf("winner on cslip2.4: %v", slowRow)
+	}
+	// The disconnected row names shipping as the only option.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "disconnected" || last[3] != "ship RDO" {
+		t.Errorf("disconnected row: %v", last)
+	}
+}
+
+// TestFSchedShape asserts priority scheduling beats FIFO substantially.
+func TestFSchedShape(t *testing.T) {
+	tbl, err := ExpFSched(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, prio := tbl.Rows[0][1], tbl.Rows[1][1]
+	df := parseMs(t, fifo)
+	dp := parseMs(t, prio)
+	if dp >= df {
+		t.Errorf("priority (%v) not faster than FIFO (%v)", dp, df)
+	}
+}
+
+func parseMs(t *testing.T, s string) time.Duration {
+	t.Helper()
+	unit := "ms"
+	if strings.HasSuffix(s, " s") {
+		unit = "s"
+	}
+	v, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	if unit == "s" {
+		return time.Duration(v * float64(time.Second))
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}

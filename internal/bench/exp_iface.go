@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rover/internal/netsim"
+	"rover/internal/qrpc"
+	"rover/internal/sched"
+	"rover/internal/stable"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// ExpFIface is an extension experiment: the roving-host scenario the
+// paper's introduction motivates. A client with three network interfaces
+// (Ethernet at the desk, WaveLAN in the building, a modem on the road)
+// issues a steady stream of requests while its connectivity changes; the
+// network scheduler's interface selector binds the engine to the best
+// available link, and QRPC carries requests across the disconnected gap.
+func ExpFIface(o Options) (*Table, error) {
+	simSched := vtime.NewScheduler()
+	cli, err := qrpc.NewClient(qrpc.ClientConfig{
+		ClientID: "roamer",
+		Log:      stable.NewMemLog(stable.Options{FlushCost: FlushCost}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := qrpc.NewServer(qrpc.ServerConfig{ServerID: "home"})
+	srv.Register("bench.echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		return req.Args, nil
+	})
+	sel := sched.NewSelector(cli)
+
+	type iface struct {
+		name   string
+		spec   netsim.LinkSpec
+		duplex *netsim.Duplex
+	}
+	ifaces := []*iface{
+		{name: "ethernet", spec: netsim.Ethernet10},
+		{name: "wavelan", spec: netsim.WaveLAN2},
+		{name: "modem", spec: netsim.CSLIP14k4},
+	}
+	for _, ifc := range ifaces {
+		ifc := ifc
+		d := netsim.NewDuplex(simSched, ifc.spec, 1)
+		ifc.duplex = d
+		cliEnd, sender := sched.BindSim(sel, ifc.name, simSched, d)
+		srvSender := &benchSrvSender{d: d}
+		d.Attach(cliEnd, &benchSrvEnd{sched: simSched, srv: srv, sender: srvSender, d: d})
+		if err := sel.Add(&sched.Interface{Name: ifc.name, Quality: ifc.spec.BitsPerSecond, Sender: sender}); err != nil {
+			return nil, err
+		}
+		d.SetUp(false) // start down; the itinerary brings them up
+	}
+
+	// The itinerary: which interfaces are up during each phase.
+	phaseLen := 60 * time.Second
+	phases := []struct {
+		label string
+		up    []string
+	}{
+		{"at the desk (ethernet)", []string{"ethernet", "wavelan"}},
+		{"walking the hall (wavelan)", []string{"wavelan"}},
+		{"on the road (modem)", []string{"modem"}},
+		{"in the air (disconnected)", nil},
+		{"back at the desk", []string{"ethernet", "wavelan"}},
+	}
+	setPhase := func(up []string) {
+		want := map[string]bool{}
+		for _, n := range up {
+			want[n] = true
+		}
+		for _, ifc := range ifaces {
+			ifc.duplex.SetUp(want[ifc.name])
+		}
+	}
+	type phaseStats struct {
+		enqueued  int
+		completed int
+		total     time.Duration
+		max       time.Duration
+	}
+	stats := make([]phaseStats, len(phases))
+	actives := make([]string, len(phases))
+	for i := range phases {
+		i := i
+		simSched.At(vtime.Time(i)*vtime.Time(phaseLen), func() {
+			setPhase(phases[i].up)
+			actives[i] = sel.Active()
+			if actives[i] == "" {
+				actives[i] = "(none)"
+			}
+		})
+	}
+
+	// Steady request stream: one 512-byte request every 2 s.
+	interval := 2 * time.Second
+	end := vtime.Time(len(phases)) * vtime.Time(phaseLen)
+	for at := vtime.Time(0); at < end; at = at.Add(interval) {
+		at := at
+		phase := int(at / vtime.Time(phaseLen))
+		simSched.At(at, func() {
+			p, err := cli.Enqueue("bench.echo", make([]byte, 512), qrpc.PriorityNormal, simSched.Now())
+			if err != nil {
+				return
+			}
+			cli.Pump(simSched.Now())
+			stats[phase].enqueued++
+			start := simSched.Now()
+			p.OnComplete(func(*qrpc.Promise) {
+				d := simSched.Now().Sub(start)
+				stats[phase].completed++
+				stats[phase].total += d
+				if d > stats[phase].max {
+					stats[phase].max = d
+				}
+			})
+		})
+	}
+	// Flush-window pumps (the Sim transport normally schedules these).
+	for at := vtime.Time(FlushCost); at < end.Add(time.Minute); at = at.Add(FlushCost) {
+		simSched.At(at, func() { cli.Pump(simSched.Now()) })
+	}
+	if _, drained := simSched.Run(50_000_000); !drained {
+		return nil, fmt.Errorf("FIFACE: simulation did not drain")
+	}
+
+	var rows [][]string
+	for i, ph := range phases {
+		st := stats[i]
+		mean := "-"
+		if st.completed > 0 {
+			mean = ms(st.total / time.Duration(st.completed))
+		}
+		rows = append(rows, []string{
+			ph.label,
+			actives[i],
+			fmt.Sprintf("%d", st.enqueued),
+			fmt.Sprintf("%d", st.completed),
+			mean,
+			ms(st.max),
+		})
+	}
+	return &Table{
+		ID:      "FIFACE",
+		Title:   "Roaming: interface selection and disconnected operation along an itinerary (60 s phases, 1 request / 2 s)",
+		Columns: []string{"phase", "active link", "enqueued", "completed", "mean latency", "max latency"},
+		Rows:    rows,
+		Notes: []string{
+			"completed counts requests enqueued in that phase, whenever they finished",
+			"the disconnected phase's requests queue on the stable log and complete after landing — max latency there is the length of the outage",
+		},
+	}, nil
+}
+
+// benchSrvEnd bridges a duplex's server side to the server engine.
+type benchSrvEnd struct {
+	sched  *vtime.Scheduler
+	srv    *qrpc.Server
+	sender qrpc.Sender
+	d      *netsim.Duplex
+}
+
+func (e *benchSrvEnd) DeliverFrame(f wire.Frame) {
+	e.srv.OnFrame(e.sender, f, e.sched.Now())
+}
+func (e *benchSrvEnd) LinkUp()   { e.srv.OnConnect(e.sender, e.sched.Now()) }
+func (e *benchSrvEnd) LinkDown() { e.srv.OnDisconnect(e.sender, e.sched.Now()) }
+
+type benchSrvSender struct {
+	d *netsim.Duplex
+}
+
+func (s *benchSrvSender) SendFrame(f wire.Frame) bool {
+	return s.d.Send(netsim.SideB, f)
+}

@@ -1,0 +1,112 @@
+// Package gateway exposes a Rover server's object store over the
+// restricted HTTP subset — the analog of the paper's second server
+// deployment: "One is compatible with the Common Gateway Interface (CGI)
+// of standard, unmodified HTTP compliant servers... The other
+// implementation is a standalone TCP/IP server which provides a very
+// restricted subset of HTTP."
+//
+// The gateway is read-only: it lets any web browser inspect a Rover
+// server's committed objects (and browse webpage-typed RDOs directly).
+// Updates still flow through QRPC, where the queueing and conflict
+// machinery lives.
+package gateway
+
+import (
+	"fmt"
+	"strings"
+
+	"rover/internal/apps/webproxy"
+	"rover/internal/apps/webproxy/httpmini"
+	"rover/internal/store"
+	"rover/internal/urn"
+)
+
+// Handler builds an httpmini handler over a store.
+//
+// Paths:
+//
+//	/                          index of all objects
+//	/obj/urn:rover:<a>/<p>     text dump of one object
+//	/web/<path>                webpage-typed RDO rendered as HTML
+func Handler(st *store.Store, webAuthority string) httpmini.Handler {
+	return func(req httpmini.Request) httpmini.Response {
+		switch {
+		case req.Path == "/" || req.Path == "/index":
+			return index(st)
+		case strings.HasPrefix(req.Path, "/obj/"):
+			return object(st, strings.TrimPrefix(req.Path, "/obj/"))
+		case strings.HasPrefix(req.Path, "/web/"):
+			return webpage(st, webAuthority, strings.TrimPrefix(req.Path, "/web/"))
+		default:
+			return httpmini.Response{Status: 404, ContentType: "text/plain",
+				Body: []byte("try /, /obj/<urn>, or /web/<page>\n")}
+		}
+	}
+}
+
+func index(st *store.Store) httpmini.Response {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>Rover object store</title></head><body>\n")
+	sb.WriteString("<h1>Rover object store</h1>\n<table border=1>\n")
+	sb.WriteString("<tr><th>URN</th><th>type</th><th>version</th></tr>\n")
+	entries := st.ListAll()
+	for _, e := range entries {
+		link := "/obj/" + e.URN.String()
+		if e.Type == webproxy.PageType {
+			if i := strings.Index(e.URN.Path, "web/"); i >= 0 {
+				link = "/web/" + e.URN.Path[i+4:]
+			}
+		}
+		fmt.Fprintf(&sb, "<tr><td><a href=%q>%s</a></td><td>%s</td><td>%d</td></tr>\n",
+			link, e.URN, e.Type, e.Version)
+	}
+	fmt.Fprintf(&sb, "</table><p>%d objects</p></body></html>\n", len(entries))
+	return httpmini.Response{Status: 200, Body: []byte(sb.String())}
+}
+
+func object(st *store.Store, urnStr string) httpmini.Response {
+	u, err := urn.Parse(urnStr)
+	if err != nil {
+		return httpmini.Response{Status: 400, ContentType: "text/plain",
+			Body: []byte("bad URN: " + err.Error() + "\n")}
+	}
+	obj, err := st.Get(u)
+	if err != nil {
+		return httpmini.Response{Status: 404, ContentType: "text/plain",
+			Body: []byte("no such object\n")}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "urn:     %s\ntype:    %s\nversion: %d\n", obj.URN, obj.Type, obj.Version)
+	if obj.Code != "" {
+		fmt.Fprintf(&sb, "\n-- code --\n%s\n", obj.Code)
+	}
+	sb.WriteString("\n-- state --\n")
+	for _, k := range obj.Keys() {
+		v, _ := obj.Get(k)
+		if len(v) > 200 {
+			v = v[:200] + fmt.Sprintf("... (%d bytes)", len(v))
+		}
+		fmt.Fprintf(&sb, "%s = %s\n", k, v)
+	}
+	return httpmini.Response{Status: 200, ContentType: "text/plain", Body: []byte(sb.String())}
+}
+
+func webpage(st *store.Store, authority, path string) httpmini.Response {
+	obj, err := st.Get(rdoPageURN(authority, path))
+	if err != nil {
+		return httpmini.Response{Status: 404, ContentType: "text/plain", Body: []byte("no such page\n")}
+	}
+	page, err := webproxy.PageFromObject(obj)
+	if err != nil {
+		return httpmini.Response{Status: 500, ContentType: "text/plain", Body: []byte(err.Error() + "\n")}
+	}
+	return httpmini.Response{Status: 200, Body: webproxy.RenderHTML(page)}
+}
+
+func rdoPageURN(authority, path string) urn.URN {
+	u, err := urn.New(authority, "web/"+path)
+	if err != nil {
+		return urn.URN{}
+	}
+	return u
+}

@@ -1,0 +1,117 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"rover"
+	"rover/internal/apps/webproxy"
+	"rover/internal/apps/webproxy/httpmini"
+	"rover/internal/rdo"
+	"rover/internal/store"
+	"rover/internal/urn"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	obj := rdo.New(urn.MustParse("urn:rover:demo/notes"), "notes")
+	obj.Code = `proc count {} { state size }`
+	obj.Set("n0", "hello gateway")
+	obj.Set("big", strings.Repeat("x", 500))
+	if err := st.Create(obj); err != nil {
+		t.Fatal(err)
+	}
+	page := webproxy.NewPageObject("demo", "p0", "Demo page", "body text", []string{"p1"})
+	// NewPageObject returns a rover.Object (alias of rdo.Object).
+	var asRDO *rdo.Object = page
+	if err := st.Create(asRDO); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func serve(t *testing.T, st *store.Store) string {
+	t.Helper()
+	srv, err := httpmini.Serve("127.0.0.1:0", Handler(st, "demo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestIndex(t *testing.T) {
+	addr := serve(t, testStore(t))
+	resp, err := httpmini.Get(addr, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(resp.Body)
+	if resp.Status != 200 || !strings.Contains(body, "urn:rover:demo/notes") {
+		t.Fatalf("index: %d %q", resp.Status, body)
+	}
+	// Webpage objects link to their rendered form.
+	if !strings.Contains(body, `href="/web/p0"`) {
+		t.Errorf("no web link in index: %q", body)
+	}
+	if !strings.Contains(body, "2 objects") {
+		t.Errorf("count missing: %q", body)
+	}
+}
+
+func TestObjectDump(t *testing.T) {
+	addr := serve(t, testStore(t))
+	resp, err := httpmini.Get(addr, "/obj/urn:rover:demo/notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(resp.Body)
+	if resp.Status != 200 || resp.ContentType != "text/plain" {
+		t.Fatalf("dump: %d %s", resp.Status, resp.ContentType)
+	}
+	for _, want := range []string{"type:    notes", "version: 1", "n0 = hello gateway", "proc count"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dump missing %q:\n%s", want, body)
+		}
+	}
+	// Long values are truncated.
+	if !strings.Contains(body, "... (500 bytes)") {
+		t.Errorf("long value not truncated:\n%s", body)
+	}
+}
+
+func TestWebpageRendered(t *testing.T) {
+	addr := serve(t, testStore(t))
+	resp, err := httpmini.Get(addr, "/web/p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "<title>Demo page</title>") {
+		t.Fatalf("webpage: %d %q", resp.Status, resp.Body)
+	}
+	if links := webproxy.ExtractLinks(resp.Body); len(links) != 1 || links[0] != "p1" {
+		t.Errorf("links: %v", links)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	addr := serve(t, testStore(t))
+	for path, want := range map[string]int{
+		"/obj/garbage":             400,
+		"/obj/urn:rover:demo/nope": 404,
+		"/web/missing":             404,
+		"/other":                   404,
+	} {
+		resp, err := httpmini.Get(addr, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.Status, want)
+		}
+	}
+}
+
+// Compile-time check: the facade's Object is the gateway's rdo.Object.
+var _ *rover.Object = (*rdo.Object)(nil)

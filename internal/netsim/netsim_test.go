@@ -1,0 +1,280 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// recorder is a test Endpoint that logs deliveries with timestamps.
+type recorder struct {
+	sched    *vtime.Scheduler
+	frames   []wire.Frame
+	times    []vtime.Time
+	ups      int
+	downs    int
+	lastType byte
+}
+
+func (r *recorder) DeliverFrame(f wire.Frame) {
+	r.frames = append(r.frames, f)
+	r.times = append(r.times, r.sched.Now())
+	r.lastType = f.Type
+}
+func (r *recorder) LinkUp()   { r.ups++ }
+func (r *recorder) LinkDown() { r.downs++ }
+
+func newPair(spec LinkSpec) (*vtime.Scheduler, *Duplex, *recorder, *recorder) {
+	s := vtime.NewScheduler()
+	d := NewDuplex(s, spec, 1)
+	a := &recorder{sched: s}
+	b := &recorder{sched: s}
+	d.Attach(a, b)
+	return s, d, a, b
+}
+
+func TestDeliveryTimeMatchesModel(t *testing.T) {
+	spec := CSLIP14k4
+	s, d, _, b := newPair(spec)
+	payload := make([]byte, 1000)
+	if !d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: payload}) {
+		t.Fatal("Send failed on up link")
+	}
+	s.Run(10)
+	if len(b.frames) != 1 {
+		t.Fatalf("delivered %d frames", len(b.frames))
+	}
+	want := vtime.Time(0).Add(spec.TransmitTime(len(payload)) + spec.Latency)
+	if b.times[0] != want {
+		t.Errorf("arrival %v, want %v", b.times[0], want)
+	}
+	// ~1KB over 14.4Kbit/s should take roughly 560ms + 100ms latency.
+	if b.times[0].Duration() < 500*time.Millisecond || b.times[0].Duration() > 800*time.Millisecond {
+		t.Errorf("arrival %v outside plausibility window", b.times[0])
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	// Two back-to-back frames: the second must wait for the first to clear
+	// the channel, so arrivals are separated by a full transmit time.
+	spec := CSLIP2k4
+	s, d, _, b := newPair(spec)
+	payload := make([]byte, 300)
+	d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: payload})
+	d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: payload})
+	s.Run(10)
+	if len(b.frames) != 2 {
+		t.Fatalf("delivered %d frames", len(b.frames))
+	}
+	gap := b.times[1].Sub(b.times[0])
+	if gap != spec.TransmitTime(len(payload)) {
+		t.Errorf("inter-arrival gap %v, want %v", gap, spec.TransmitTime(len(payload)))
+	}
+}
+
+func TestFullDuplexDirectionsIndependent(t *testing.T) {
+	spec := CSLIP14k4
+	s, d, a, b := newPair(spec)
+	payload := make([]byte, 2000)
+	d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: payload})
+	d.Send(SideB, wire.Frame{Type: wire.FrameReply, Payload: payload})
+	s.Run(10)
+	if len(a.frames) != 1 || len(b.frames) != 1 {
+		t.Fatalf("deliveries: a=%d b=%d", len(a.frames), len(b.frames))
+	}
+	// Same size, same spec: both directions should arrive simultaneously.
+	if a.times[0] != b.times[0] {
+		t.Errorf("duplex directions interfered: %v vs %v", a.times[0], b.times[0])
+	}
+}
+
+func TestSendWhileDownFails(t *testing.T) {
+	_, d, _, _ := newPair(Ethernet10)
+	d.SetUp(false)
+	if d.Send(SideA, wire.Frame{Type: wire.FramePing}) {
+		t.Error("Send succeeded on down link")
+	}
+	if d.Stats().DroppedDown != 1 {
+		t.Errorf("DroppedDown = %d", d.Stats().DroppedDown)
+	}
+}
+
+func TestOutageKillsInFlightFrames(t *testing.T) {
+	spec := CSLIP2k4 // slow: a 1KB frame takes seconds
+	s, d, _, b := newPair(spec)
+	d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: make([]byte, 1000)})
+	// Take the link down while the frame is mid-flight, then back up.
+	d.ScheduleOutage(vtime.Time(time.Second), 10*time.Second)
+	s.Run(100)
+	if len(b.frames) != 0 {
+		t.Errorf("frame survived a mid-flight outage")
+	}
+	if d.Stats().DroppedMidFlight != 1 {
+		t.Errorf("DroppedMidFlight = %d", d.Stats().DroppedMidFlight)
+	}
+}
+
+func TestUpDownNotifications(t *testing.T) {
+	s, d, a, b := newPair(WaveLAN2)
+	d.SetUp(false)
+	d.SetUp(false) // no transition: no extra callback
+	d.SetUp(true)
+	s.Run(10)
+	if a.downs != 1 || b.downs != 1 || a.ups != 1 || b.ups != 1 {
+		t.Errorf("callbacks: a=%d/%d b=%d/%d", a.ups, a.downs, b.ups, b.downs)
+	}
+}
+
+func TestPeriodicOutages(t *testing.T) {
+	s, d, a, _ := newPair(WaveLAN2)
+	d.SchedulePeriodicOutages(vtime.Time(time.Second), 2*time.Second, time.Second, vtime.Time(7*time.Second))
+	s.Run(100)
+	if a.downs != 3 || a.ups != 3 {
+		t.Errorf("outage cycles: %d down, %d up; want 3, 3", a.downs, a.ups)
+	}
+}
+
+func TestPeriodicOutagesValidatesPeriod(t *testing.T) {
+	s, d, _, _ := newPair(WaveLAN2)
+	_ = s
+	defer func() {
+		if recover() == nil {
+			t.Error("period <= down did not panic")
+		}
+	}()
+	d.SchedulePeriodicOutages(0, time.Second, time.Second, vtime.Time(5*time.Second))
+}
+
+func TestRandomLossDeterministic(t *testing.T) {
+	spec := WaveLAN2
+	spec.LossRate = 0.5
+	run := func() int64 {
+		s := vtime.NewScheduler()
+		d := NewDuplex(s, spec, 42)
+		a := &recorder{sched: s}
+		b := &recorder{sched: s}
+		d.Attach(a, b)
+		for i := 0; i < 100; i++ {
+			d.Send(SideA, wire.Frame{Type: wire.FramePing})
+		}
+		s.Run(1000)
+		return d.Stats().DroppedLoss
+	}
+	l1, l2 := run(), run()
+	if l1 != l2 {
+		t.Errorf("loss not deterministic: %d vs %d", l1, l2)
+	}
+	if l1 == 0 || l1 == 100 {
+		t.Errorf("loss rate 0.5 dropped %d of 100", l1)
+	}
+}
+
+func TestStatsCountBytes(t *testing.T) {
+	spec := Ethernet10
+	s, d, _, _ := newPair(spec)
+	payload := make([]byte, 100)
+	d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: payload})
+	s.Run(10)
+	want := int64(wire.EncodedFrameSize(100) + spec.FrameOverhead)
+	if got := d.Stats().BytesAB; got != want {
+		t.Errorf("BytesAB = %d, want %d", got, want)
+	}
+	if d.Stats().BytesBA != 0 {
+		t.Errorf("BytesBA = %d, want 0", d.Stats().BytesBA)
+	}
+}
+
+func TestLinkSpecMath(t *testing.T) {
+	// 14.4 Kbit/s: 1800 bytes/s. A 175-byte on-wire frame ~ 97ms.
+	tt := CSLIP14k4.TransmitTime(160)
+	if tt < 80*time.Millisecond || tt > 120*time.Millisecond {
+		t.Errorf("TransmitTime = %v", tt)
+	}
+	rt := CSLIP14k4.RoundTrip(64, 64)
+	if rt <= 2*CSLIP14k4.Latency {
+		t.Errorf("RoundTrip = %v too small", rt)
+	}
+	// Faster links must be strictly faster for the same frame.
+	links := StandardLinks()
+	for i := 1; i < len(links); i++ {
+		if links[i-1].TransmitTime(1000) >= links[i].TransmitTime(1000) {
+			t.Errorf("link %s not faster than %s", links[i-1].Name, links[i].Name)
+		}
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	s := vtime.NewScheduler()
+	d := NewDuplex(s, Ethernet10, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send before Attach did not panic")
+			}
+		}()
+		d.Send(SideA, wire.Frame{})
+	}()
+	a := &recorder{sched: s}
+	d.Attach(a, a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Attach did not panic")
+			}
+		}()
+		d.Attach(a, a)
+	}()
+}
+
+func TestSideString(t *testing.T) {
+	if SideA.String() != "A" || SideB.String() != "B" {
+		t.Error("Side.String")
+	}
+}
+
+// Property: deliveries in one direction preserve send order (FIFO), for
+// arbitrary frame sizes and send times — QRPC's session handshake relies
+// on it.
+func TestQuickPerDirectionFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := vtime.NewScheduler()
+		d := NewDuplex(s, CSLIP14k4, seed)
+		a := &recorder{sched: s}
+		b := &recorder{sched: s}
+		d.Attach(a, b)
+		n := 1 + r.Intn(30)
+		var sendOrder []byte
+		for i := 0; i < n; i++ {
+			i := i
+			at := vtime.Time(r.Intn(1000)) * vtime.Time(time.Millisecond)
+			size := 1 + r.Intn(900)
+			s.At(at, func() {
+				payload := make([]byte, size)
+				payload[0] = byte(i)
+				sendOrder = append(sendOrder, byte(i))
+				d.Send(SideA, wire.Frame{Type: wire.FrameRequest, Payload: payload})
+			})
+		}
+		s.Run(100000)
+		if len(b.frames) != n {
+			return false
+		}
+		for i, fr := range b.frames {
+			if fr.Payload[0] != sendOrder[i] {
+				return false // delivery reordered relative to sends
+			}
+			if i > 0 && b.times[i] < b.times[i-1] {
+				return false // time went backwards
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

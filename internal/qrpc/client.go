@@ -1,0 +1,580 @@
+package qrpc
+
+import (
+	"container/heap"
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"rover/internal/auth"
+	"rover/internal/stable"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// StatusInfo is the user-notification snapshot the paper's section 3.4
+// calls for: "it is important to present the user with information about
+// [the mobile environment's] current state." Applications surface it in
+// their UI (queue depth, connectivity).
+type StatusInfo struct {
+	Connected     bool
+	AuthRejected  bool
+	Queued        int // requests not yet transmitted
+	AwaitingReply int // transmitted, no reply yet
+}
+
+// ClientConfig configures a client engine.
+type ClientConfig struct {
+	// ClientID identifies this client to servers. Required.
+	ClientID string
+	// Key authenticates the client when the server has an auth registry.
+	Key auth.Key
+	// Log is the stable operation log. Required; queued requests live
+	// there until their replies arrive.
+	Log stable.Log
+	// OnStatus, if set, is invoked (outside engine locks) whenever the
+	// StatusInfo snapshot changes materially.
+	OnStatus func(StatusInfo)
+	// OnCallback receives server-initiated notifications.
+	OnCallback func(topic string, payload []byte)
+	// OnRecovered is invoked during NewClient for every request replayed
+	// from the log after a crash, letting the application re-attach to its
+	// promise.
+	OnRecovered func(req Request, p *Promise)
+	// OnPong receives liveness probe responses (the network scheduler's
+	// link-quality input).
+	OnPong func(now vtime.Time)
+	// NonceFn overrides the random nonce source (tests, determinism).
+	NonceFn func() []byte
+}
+
+type reqState int
+
+const (
+	stateQueued reqState = iota
+	stateSent
+)
+
+type pendingReq struct {
+	req     Request
+	logID   uint64
+	promise *Promise
+	state   reqState
+	readyAt vtime.Time // queue entry usable once the log flush is charged
+	sentAt  vtime.Time // last transmission time (RetryStale)
+	heapIdx int        // index in the send queue, -1 when not queued
+	sends   int
+}
+
+// Client is the client-side QRPC engine. All methods are safe for
+// concurrent use; completion callbacks run outside the engine lock.
+type Client struct {
+	mu        sync.Mutex
+	cfg       ClientConfig
+	nextSeq   uint64
+	pend      map[uint64]*pendingReq
+	queue     sendQueue
+	sender    Sender
+	connected bool
+	authBad   bool
+	acks      []uint64
+	stats     ClientStats
+	closed    bool
+	flushCost time.Duration
+	// seqFloor is the durable sequence-number reservation: every seq below
+	// it may have been used by some incarnation of this client.
+	seqFloor  uint64
+	metaLogID uint64
+	// queuedCount/sentCount track request states incrementally so Status
+	// is O(1); scanning the pending map per enqueue made deep queues
+	// quadratic (caught by BenchmarkEnqueueMemLog).
+	queuedCount int
+	sentCount   int
+}
+
+// NewClient builds a client engine, replaying any requests that survive in
+// the stable log from a previous incarnation.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.ClientID == "" {
+		return nil, fmt.Errorf("qrpc: ClientID is required")
+	}
+	if cfg.Log == nil {
+		return nil, fmt.Errorf("qrpc: Log is required")
+	}
+	c := &Client{
+		cfg:       cfg,
+		nextSeq:   1,
+		pend:      make(map[uint64]*pendingReq),
+		flushCost: cfg.Log.Cost(),
+	}
+	type recovered struct {
+		req Request
+		p   *Promise
+	}
+	var recs []recovered
+	var staleMetaIDs []uint64
+	err := cfg.Log.Replay(func(id uint64, rec []byte) error {
+		req, floor, isMeta, err := decodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		if isMeta {
+			if floor > c.seqFloor {
+				c.seqFloor = floor
+				if c.metaLogID != 0 {
+					staleMetaIDs = append(staleMetaIDs, c.metaLogID)
+				}
+				c.metaLogID = id
+			} else {
+				staleMetaIDs = append(staleMetaIDs, id)
+			}
+			return nil
+		}
+		pr := &pendingReq{
+			req:     *req,
+			logID:   id,
+			promise: newPromise(req.Seq),
+			heapIdx: -1,
+		}
+		c.pend[req.Seq] = pr
+		heap.Push(&c.queue, pr)
+		c.queuedCount++
+		if req.Seq >= c.nextSeq {
+			c.nextSeq = req.Seq + 1
+		}
+		recs = append(recs, recovered{*req, pr.promise})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("qrpc: log replay: %w", err)
+	}
+	if c.nextSeq < c.seqFloor {
+		c.nextSeq = c.seqFloor
+	}
+	for _, id := range staleMetaIDs {
+		_ = cfg.Log.Remove(id)
+	}
+	if cfg.OnRecovered != nil {
+		for _, r := range recs {
+			cfg.OnRecovered(r.req, r.p)
+		}
+	}
+	return c, nil
+}
+
+// Enqueue queues a request. It returns once the request is on the stable
+// log — the non-blocking guarantee: this never waits for the network, only
+// for the local flush. The returned promise completes when the reply
+// arrives (possibly after arbitrarily many disconnections, or after a
+// crash and recovery).
+func (c *Client) Enqueue(service string, args []byte, pri Priority, now vtime.Time) (*Promise, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	seq := c.nextSeq
+	// Reserve a fresh sequence chunk durably BEFORE first use, so no crash
+	// can ever lead to reuse.
+	if seq >= c.seqFloor {
+		newFloor := seq + seqReserveChunk
+		metaID, err := c.cfg.Log.Append(encodeMetaRecord(newFloor))
+		if err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("qrpc: sequence reservation: %w", err)
+		}
+		if c.metaLogID != 0 {
+			_ = c.cfg.Log.Remove(c.metaLogID)
+		}
+		c.metaLogID = metaID
+		c.seqFloor = newFloor
+	}
+	c.nextSeq++
+	req := Request{Seq: seq, Priority: pri, Service: service, Args: args}
+	logID, err := c.cfg.Log.Append(encodeRequestRecord(&req))
+	if err != nil {
+		c.nextSeq--
+		c.mu.Unlock()
+		return nil, fmt.Errorf("qrpc: stable log append: %w", err)
+	}
+	pr := &pendingReq{
+		req:     req,
+		logID:   logID,
+		promise: newPromise(seq),
+		readyAt: now.Add(c.flushCost),
+		heapIdx: -1,
+	}
+	c.pend[seq] = pr
+	heap.Push(&c.queue, pr)
+	c.queuedCount++
+	c.stats.Enqueued++
+	c.pumpLocked(now)
+	status := c.statusLocked()
+	c.mu.Unlock()
+	c.notify(status)
+	return pr.promise, nil
+}
+
+// Cancel withdraws a request that has not yet been transmitted. It reports
+// whether cancellation succeeded; a request that has already been sent
+// cannot be cancelled (the server may execute it). The promise of a
+// cancelled request fails with ErrCancelled.
+func (c *Client) Cancel(seq uint64) bool {
+	c.mu.Lock()
+	pr, ok := c.pend[seq]
+	if !ok || pr.state != stateQueued || pr.sends > 0 {
+		c.mu.Unlock()
+		return false
+	}
+	if pr.heapIdx >= 0 {
+		heap.Remove(&c.queue, pr.heapIdx)
+	}
+	delete(c.pend, seq)
+	c.queuedCount--
+	_ = c.cfg.Log.Remove(pr.logID)
+	c.mu.Unlock()
+	pr.promise.fulfill(nil, ErrCancelled)
+	return true
+}
+
+// OnConnect attaches a transport. All unreplied requests become eligible
+// for (re)transmission; a Hello frame precedes them.
+func (c *Client) OnConnect(s Sender, now vtime.Time) {
+	c.mu.Lock()
+	c.sender = s
+	c.connected = true
+	c.authBad = false
+	c.stats.Connects++
+	// Anything sent on a previous connection but unreplied must go again.
+	for _, pr := range c.pend {
+		if pr.state == stateSent {
+			pr.state = stateQueued
+			c.sentCount--
+			c.queuedCount++
+			if pr.heapIdx < 0 {
+				heap.Push(&c.queue, pr)
+			}
+		}
+	}
+	c.sendHelloLocked()
+	c.pumpLocked(now)
+	status := c.statusLocked()
+	c.mu.Unlock()
+	c.notify(status)
+}
+
+// OnDisconnect detaches the transport. Requests in flight stay pending
+// and are redelivered on the next connect.
+func (c *Client) OnDisconnect(now vtime.Time) {
+	c.mu.Lock()
+	c.connected = false
+	c.sender = nil
+	c.stats.Disconnects++
+	status := c.statusLocked()
+	c.mu.Unlock()
+	c.notify(status)
+}
+
+// Pump transmits any ready queued requests and pending acks. Adapters call
+// it when the link drains or when a request's log-flush delay elapses (see
+// NextReadyAt).
+func (c *Client) Pump(now vtime.Time) {
+	c.mu.Lock()
+	c.pumpLocked(now)
+	c.mu.Unlock()
+}
+
+// RetryStale requeues requests that were transmitted more than maxAge ago
+// without a reply, and pumps them. On reliable transports (TCP) this never
+// fires — a connected link either delivers or disconnects — but unreliable
+// media (radio links with frame loss, the mail transport's lossy relays)
+// need a retransmission clock. Adapters over such media call it
+// periodically; the server's reply cache absorbs any duplicates. It
+// returns how many requests were requeued.
+func (c *Client) RetryStale(now vtime.Time, maxAge time.Duration) int {
+	c.mu.Lock()
+	n := 0
+	for _, pr := range c.pend {
+		if pr.state == stateSent && now.Sub(pr.sentAt) >= maxAge {
+			pr.state = stateQueued
+			c.sentCount--
+			c.queuedCount++
+			if pr.heapIdx < 0 {
+				heap.Push(&c.queue, pr)
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		c.pumpLocked(now)
+	}
+	c.mu.Unlock()
+	return n
+}
+
+// NextReadyAt returns the earliest future time at which a queued request
+// becomes transmittable (its modeled log flush completes), or ok=false.
+// The simulation adapter schedules a Pump there.
+func (c *Client) NextReadyAt(now vtime.Time) (vtime.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.flushCost == 0 {
+		return 0, false
+	}
+	var best vtime.Time
+	found := false
+	for _, pr := range c.queue {
+		if pr.readyAt > now && (!found || pr.readyAt < best) {
+			best = pr.readyAt
+			found = true
+		}
+	}
+	return best, found
+}
+
+// OnFrame processes a frame from the transport.
+func (c *Client) OnFrame(f wire.Frame, now vtime.Time) {
+	switch f.Type {
+	case wire.FrameReply:
+		c.onReply(f.Payload, now)
+	case wire.FrameCallback:
+		var cb Callback
+		if err := wire.Unmarshal(f.Payload, &cb); err != nil {
+			return
+		}
+		if c.cfg.OnCallback != nil {
+			c.cfg.OnCallback(cb.Topic, cb.Payload)
+		}
+	case wire.FrameWelcome:
+		c.Pump(now)
+	case wire.FrameAuthReject:
+		c.mu.Lock()
+		c.authBad = true
+		status := c.statusLocked()
+		c.mu.Unlock()
+		c.notify(status)
+	case wire.FramePing:
+		c.mu.Lock()
+		if c.sender != nil {
+			c.sender.SendFrame(wire.Frame{Type: wire.FramePong})
+		}
+		c.mu.Unlock()
+	case wire.FramePong:
+		if c.cfg.OnPong != nil {
+			c.cfg.OnPong(now)
+		}
+	}
+}
+
+func (c *Client) onReply(payload []byte, now vtime.Time) {
+	var rep Reply
+	if err := wire.Unmarshal(payload, &rep); err != nil {
+		return
+	}
+	c.mu.Lock()
+	pr, ok := c.pend[rep.Seq]
+	if !ok {
+		// Duplicate reply (we already processed and acked, or the ack was
+		// lost). Re-ack so the server can clear its cache.
+		c.stats.Duplicates++
+		c.acks = append(c.acks, rep.Seq)
+		c.pumpLocked(now)
+		c.mu.Unlock()
+		return
+	}
+	// Remove from the stable log BEFORE acking: if we crash between these
+	// steps the request is redelivered and the server replays the cached
+	// reply — at-most-once execution, at-least-once delivery.
+	_ = c.cfg.Log.Remove(pr.logID)
+	delete(c.pend, rep.Seq)
+	if pr.state == stateQueued {
+		c.queuedCount--
+	} else {
+		c.sentCount--
+	}
+	if pr.heapIdx >= 0 {
+		heap.Remove(&c.queue, pr.heapIdx)
+	}
+	c.stats.Replies++
+	c.acks = append(c.acks, rep.Seq)
+	c.pumpLocked(now)
+	status := c.statusLocked()
+	c.mu.Unlock()
+
+	if rep.Status == StatusOK {
+		pr.promise.fulfill(rep.Result, nil)
+	} else {
+		pr.promise.fulfill(nil, &RemoteError{Status: rep.Status, Message: rep.ErrMsg})
+	}
+	c.notify(status)
+}
+
+// pumpLocked drains ready requests to the transport in priority order.
+func (c *Client) pumpLocked(now vtime.Time) {
+	if !c.connected || c.sender == nil || c.authBad {
+		return
+	}
+	// Flush acks first; they are tiny and unblock server state.
+	if len(c.acks) > 0 {
+		ack := &Ack{Seqs: c.acks}
+		if c.sender.SendFrame(wire.Frame{Type: wire.FrameAck, Payload: wire.Marshal(ack)}) {
+			c.stats.AcksSent += int64(len(c.acks))
+			c.acks = nil
+		}
+	}
+	var defer2 []*pendingReq
+	for c.queue.Len() > 0 {
+		pr := c.queue[0]
+		// readyAt only means something when a flush cost is modeled (the
+		// virtual-time simulators, where one scheduler is the single time
+		// base). With a real log the flush was paid synchronously inside
+		// Enqueue, and comparing timestamps would wrongly defer requests
+		// whenever caller and transport clocks have different epochs.
+		if c.flushCost > 0 && pr.readyAt > now {
+			// Not yet durable under virtual time; skip it without
+			// blocking others (pop and re-push after the loop).
+			heap.Pop(&c.queue)
+			defer2 = append(defer2, pr)
+			continue
+		}
+		if !c.sender.SendFrame(wire.Frame{Type: wire.FrameRequest, Payload: wire.Marshal(&pr.req)}) {
+			break // link refused; retry after next connect
+		}
+		heap.Pop(&c.queue)
+		pr.state = stateSent
+		pr.sentAt = now
+		c.queuedCount--
+		c.sentCount++
+		pr.sends++
+		c.stats.Sent++
+		if pr.sends > 1 {
+			c.stats.Resent++
+		}
+	}
+	for _, pr := range defer2 {
+		heap.Push(&c.queue, pr)
+	}
+}
+
+func (c *Client) sendHelloLocked() {
+	low := c.nextSeq
+	for seq := range c.pend {
+		if seq < low {
+			low = seq
+		}
+	}
+	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: low}
+	if c.cfg.Key != nil {
+		h.Nonce = c.nonce()
+		h.Proof = auth.Prove(c.cfg.Key, c.cfg.ClientID, h.Nonce)
+	}
+	c.sender.SendFrame(wire.Frame{Type: wire.FrameHello, Payload: wire.Marshal(h)})
+}
+
+func (c *Client) nonce() []byte {
+	if c.cfg.NonceFn != nil {
+		return c.cfg.NonceFn()
+	}
+	n := make([]byte, 16)
+	_, _ = rand.Read(n)
+	return n
+}
+
+// Hello returns the session-open frame for connectionless transports (the
+// mail transport prefixes every batch with it).
+func (c *Client) Hello() wire.Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	low := c.nextSeq
+	for seq := range c.pend {
+		if seq < low {
+			low = seq
+		}
+	}
+	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: low}
+	if c.cfg.Key != nil {
+		h.Nonce = c.nonce()
+		h.Proof = auth.Prove(c.cfg.Key, c.cfg.ClientID, h.Nonce)
+	}
+	return wire.Frame{Type: wire.FrameHello, Payload: wire.Marshal(h)}
+}
+
+// Status returns the current user-notification snapshot.
+func (c *Client) Status() StatusInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *Client) statusLocked() StatusInfo {
+	return StatusInfo{
+		Connected:     c.connected,
+		AuthRejected:  c.authBad,
+		Queued:        c.queuedCount,
+		AwaitingReply: c.sentCount,
+	}
+}
+
+func (c *Client) notify(s StatusInfo) {
+	if c.cfg.OnStatus != nil {
+		c.cfg.OnStatus(s)
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Pending returns the number of unreplied requests (queued + sent).
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pend)
+}
+
+// ClientID returns the configured client identity.
+func (c *Client) ClientID() string { return c.cfg.ClientID }
+
+// Close marks the engine closed. Pending requests remain on the stable
+// log for the next incarnation; their promises stay incomplete.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// sendQueue is a priority heap: highest Priority first, FIFO within a
+// priority level (by sequence number).
+type sendQueue []*pendingReq
+
+func (q sendQueue) Len() int { return len(q) }
+func (q sendQueue) Less(i, j int) bool {
+	if q[i].req.Priority != q[j].req.Priority {
+		return q[i].req.Priority > q[j].req.Priority
+	}
+	return q[i].req.Seq < q[j].req.Seq
+}
+func (q sendQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+func (q *sendQueue) Push(x any) {
+	pr := x.(*pendingReq)
+	pr.heapIdx = len(*q)
+	*q = append(*q, pr)
+}
+func (q *sendQueue) Pop() any {
+	old := *q
+	n := len(old)
+	pr := old[n-1]
+	old[n-1] = nil
+	pr.heapIdx = -1
+	*q = old[:n-1]
+	return pr
+}

@@ -1,0 +1,338 @@
+package qrpc
+
+import (
+	"fmt"
+	"sync"
+
+	"rover/internal/auth"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// Handler executes one service request at the server. Handlers run outside
+// engine locks and may call back into the server (e.g. SendCallback).
+type Handler func(clientID string, req Request) ([]byte, error)
+
+// ServerConfig configures a server engine.
+type ServerConfig struct {
+	// ServerID names this server in Welcome frames and logs.
+	ServerID string
+	// Auth, when non-nil, makes the server verify Hello proofs and reject
+	// unauthenticated sessions.
+	Auth *auth.Registry
+}
+
+// session is the per-client redelivery state. It lives across transport
+// connections (and server-side, across client crashes): the reply cache is
+// what makes redelivered requests idempotent.
+type session struct {
+	clientID  string
+	replies   map[uint64]*Reply // executed but unacknowledged
+	executing map[uint64]bool   // in handler right now
+	// acked records individually acknowledged sequence numbers. A plain
+	// high-watermark is NOT sound here: replies complete out of order
+	// (priorities, retransmission on lossy links), and dropping every
+	// redelivery at or below the highest acked seq would starve
+	// still-pending lower sequence numbers forever. Entries are pruned by
+	// the LowSeq each Hello advertises (everything below it is complete
+	// on the client).
+	acked   map[uint64]bool
+	maxExec uint64
+	lowSeq  uint64
+	sender  Sender // most recent transport, for callbacks
+}
+
+// conn is per-transport state: which client the transport authenticated as.
+type conn struct {
+	clientID string
+	authed   bool
+}
+
+// Server is the server-side QRPC engine: it dispatches requests to
+// registered service handlers with at-most-once execution semantics.
+type Server struct {
+	mu       sync.Mutex
+	cfg      ServerConfig
+	handlers map[string]Handler
+	sessions map[string]*session
+	conns    map[Sender]*conn
+	stats    ServerStats
+}
+
+// NewServer builds a server engine.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{
+		cfg:      cfg,
+		handlers: make(map[string]Handler),
+		sessions: make(map[string]*session),
+		conns:    make(map[Sender]*conn),
+	}
+}
+
+// Register installs a service handler.
+func (s *Server) Register(service string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[service] = h
+}
+
+// OnConnect registers a transport. Nothing is sent until its Hello.
+func (s *Server) OnConnect(from Sender, now vtime.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[from] = &conn{}
+}
+
+// OnDisconnect forgets a transport. Session state (the reply cache)
+// survives; only the live connection is dropped.
+func (s *Server) OnDisconnect(from Sender, now vtime.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cn := s.conns[from]
+	delete(s.conns, from)
+	if cn != nil && cn.clientID != "" {
+		if sess := s.sessions[cn.clientID]; sess != nil && sess.sender == from {
+			sess.sender = nil
+		}
+	}
+}
+
+// OnFrame processes one frame from a transport.
+func (s *Server) OnFrame(from Sender, f wire.Frame, now vtime.Time) {
+	switch f.Type {
+	case wire.FrameHello:
+		s.onHello(from, f.Payload)
+	case wire.FrameRequest:
+		s.onRequest(from, f.Payload, now)
+	case wire.FrameAck:
+		s.onAck(from, f.Payload)
+	case wire.FramePing:
+		from.SendFrame(wire.Frame{Type: wire.FramePong})
+	}
+}
+
+func (s *Server) onHello(from Sender, payload []byte) {
+	var h Hello
+	if err := wire.Unmarshal(payload, &h); err != nil {
+		return
+	}
+	s.mu.Lock()
+	cn := s.conns[from]
+	if cn == nil {
+		cn = &conn{}
+		s.conns[from] = cn
+	}
+	if s.cfg.Auth != nil {
+		if err := s.cfg.Auth.Verify(h.ClientID, h.Nonce, h.Proof); err != nil {
+			s.stats.AuthFailures++
+			s.mu.Unlock()
+			from.SendFrame(wire.Frame{Type: wire.FrameAuthReject})
+			return
+		}
+	}
+	cn.clientID = h.ClientID
+	cn.authed = true
+	sess := s.sessionLocked(h.ClientID)
+	sess.sender = from
+	if h.LowSeq > sess.lowSeq {
+		sess.lowSeq = h.LowSeq
+		// Everything below LowSeq has been consumed by the client; cached
+		// replies and ack records there are dead weight.
+		for seq := range sess.replies {
+			if seq < sess.lowSeq {
+				delete(sess.replies, seq)
+			}
+		}
+		for seq := range sess.acked {
+			if seq < sess.lowSeq {
+				delete(sess.acked, seq)
+			}
+		}
+	}
+	w := &Welcome{ServerID: s.cfg.ServerID, HighSeq: sess.maxExec}
+	s.mu.Unlock()
+	from.SendFrame(wire.Frame{Type: wire.FrameWelcome, Payload: wire.Marshal(w)})
+}
+
+func (s *Server) sessionLocked(clientID string) *session {
+	sess := s.sessions[clientID]
+	if sess == nil {
+		sess = &session{
+			clientID:  clientID,
+			replies:   make(map[uint64]*Reply),
+			executing: make(map[uint64]bool),
+			acked:     make(map[uint64]bool),
+		}
+		s.sessions[clientID] = sess
+	}
+	return sess
+}
+
+func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time) {
+	var req Request
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return
+	}
+	s.mu.Lock()
+	cn := s.conns[from]
+	if cn == nil || !cn.authed {
+		// Requests before a (valid) Hello are dropped; the client will
+		// redeliver after it completes a handshake.
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	sess := s.sessionLocked(cn.clientID)
+	sess.sender = from
+	s.stats.Requests++
+	if cached, ok := sess.replies[req.Seq]; ok {
+		// Redelivered request already executed: replay the reply.
+		s.stats.ReplaysServed++
+		s.mu.Unlock()
+		from.SendFrame(wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(cached)})
+		return
+	}
+	if sess.acked[req.Seq] || req.Seq < sess.lowSeq || sess.executing[req.Seq] {
+		// Acked (the client has the reply), already complete per the
+		// client's own LowSeq, or currently executing: drop.
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	handler := s.handlers[req.Service]
+	sess.executing[req.Seq] = true
+	clientID := cn.clientID
+	s.mu.Unlock()
+
+	// Execute outside the lock: handlers may be slow and may re-enter the
+	// server (SendCallback).
+	rep := &Reply{Seq: req.Seq}
+	if handler == nil {
+		rep.Status = StatusNoService
+		rep.ErrMsg = req.Service
+	} else if result, err := handler(clientID, req); err != nil {
+		rep.Status = StatusAppError
+		rep.ErrMsg = err.Error()
+	} else {
+		rep.Status = StatusOK
+		rep.Result = result
+	}
+
+	s.mu.Lock()
+	delete(sess.executing, req.Seq)
+	sess.replies[req.Seq] = rep
+	if req.Seq > sess.maxExec {
+		sess.maxExec = req.Seq
+	}
+	s.stats.Executed++
+	s.mu.Unlock()
+	from.SendFrame(wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+}
+
+func (s *Server) onAck(from Sender, payload []byte) {
+	var ack Ack
+	if err := wire.Unmarshal(payload, &ack); err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cn := s.conns[from]
+	if cn == nil || !cn.authed {
+		return
+	}
+	sess := s.sessionLocked(cn.clientID)
+	for _, seq := range ack.Seqs {
+		delete(sess.replies, seq)
+		sess.acked[seq] = true
+		s.stats.AcksReceived++
+	}
+}
+
+// SendCallback pushes a notification to a client's current transport. It
+// reports false when the client has no live connection (the notification
+// is dropped; callbacks are an optimization, not a correctness mechanism —
+// disconnected clients revalidate on import).
+func (s *Server) SendCallback(clientID, topic string, payload []byte) bool {
+	s.mu.Lock()
+	sess := s.sessions[clientID]
+	var snd Sender
+	if sess != nil {
+		snd = sess.sender
+	}
+	s.mu.Unlock()
+	if snd == nil {
+		return false
+	}
+	cb := &Callback{Topic: topic, Payload: payload}
+	if snd.SendFrame(wire.Frame{Type: wire.FrameCallback, Payload: wire.Marshal(cb)}) {
+		s.mu.Lock()
+		s.stats.CallbacksSent++
+		s.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// BroadcastCallback sends a notification to every connected client except
+// the named one (used to propagate object invalidations to other caches).
+func (s *Server) BroadcastCallback(exceptClientID, topic string, payload []byte) int {
+	s.mu.Lock()
+	var targets []Sender
+	for id, sess := range s.sessions {
+		if id != exceptClientID && sess.sender != nil {
+			targets = append(targets, sess.sender)
+		}
+	}
+	s.mu.Unlock()
+	cb := &Callback{Topic: topic, Payload: payload}
+	frame := wire.Frame{Type: wire.FrameCallback, Payload: wire.Marshal(cb)}
+	n := 0
+	for _, snd := range targets {
+		if snd.SendFrame(frame) {
+			n++
+		}
+	}
+	s.mu.Lock()
+	s.stats.CallbacksSent += int64(n)
+	s.mu.Unlock()
+	return n
+}
+
+// Stats returns a snapshot of the engine counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SessionInfo describes one client session for inspection tools.
+type SessionInfo struct {
+	ClientID      string
+	CachedReplies int
+	MaxExecuted   uint64
+	// AckedPending counts ack records awaiting LowSeq pruning.
+	AckedPending int
+	Connected    bool
+}
+
+// Sessions lists the server's client sessions.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, SessionInfo{
+			ClientID:      sess.clientID,
+			CachedReplies: len(sess.replies),
+			MaxExecuted:   sess.maxExec,
+			AckedPending:  len(sess.acked),
+			Connected:     sess.sender != nil,
+		})
+	}
+	return out
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("qrpc.Server(%s)", s.cfg.ServerID)
+}

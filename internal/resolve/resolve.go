@@ -1,0 +1,115 @@
+// Package resolve implements Rover's type-specific conflict resolution.
+//
+// "In Rover, every object has a home server. A mobile host imports objects
+// into its local cache and exports updated objects back to their home
+// servers. Update conflicts are detected at the server, where Rover
+// attempts to reconcile them. Because Rover can employ type-specific
+// concurrency control [Weihl & Liskov], we expect that many conflicts can
+// be resolved automatically." The lineage is Locus (type-specific conflict
+// resolvers) and Bayou (tentative, operation-based updates).
+//
+// A conflict exists when a client's exported operations were applied
+// against an object version older than the server's current one. The
+// object type's Resolver then decides: replay the operations on the
+// current state (the common case for commutative, method-based updates),
+// or reject them into the manual-repair queue (the Lotus-Notes-style last
+// resort the paper contrasts itself with).
+package resolve
+
+import (
+	"fmt"
+	"sync"
+
+	"rover/internal/rdo"
+)
+
+// Result reports a resolver's decision.
+type Result struct {
+	// Applied is true when the operations were merged into the object.
+	Applied bool
+	// Message explains a rejection (surfaced to the client and the repair
+	// queue).
+	Message string
+}
+
+// Request carries everything a resolver needs. Object is a mutable clone
+// of the server's current copy: resolvers apply their merge to it, and the
+// store adopts it only when Applied is true.
+type Request struct {
+	// Object is the server's current state (mutable working copy).
+	Object *rdo.Object
+	// BaseVersion is the version the client's operations were applied
+	// against on the mobile host.
+	BaseVersion uint64
+	// CurrentVersion is the server's version now. A conflict means
+	// BaseVersion < CurrentVersion.
+	CurrentVersion uint64
+	// Invocations are the client's tentative operations, in order.
+	Invocations []rdo.Invocation
+	// Replay applies all Invocations to Object via its methods, stopping
+	// at the first failure. Most resolvers call it after (or instead of)
+	// custom preconditions; the object's own methods enforce type
+	// invariants.
+	Replay func() error
+}
+
+// Resolver decides the fate of conflicting operations.
+type Resolver func(req *Request) (Result, error)
+
+// Replay is the default optimistic resolver: re-run the client's
+// operations against the current state. For operation-shipped updates on
+// objects whose methods check their own invariants (the calendar's
+// "schedule" refuses an occupied slot), this is Bayou-style application-
+// specific merging: commutable updates succeed, true conflicts surface as
+// method errors and become rejections.
+func Replay(req *Request) (Result, error) {
+	if err := req.Replay(); err != nil {
+		return Result{Applied: false, Message: err.Error()}, nil
+	}
+	return Result{Applied: true}, nil
+}
+
+// Reject reflects every conflict to the user (the repair queue), as Lotus
+// Notes did. Types with non-commutable semantics and no merge function use
+// it.
+func Reject(req *Request) (Result, error) {
+	return Result{
+		Applied: false,
+		Message: fmt.Sprintf("concurrent update: base version %d, server at %d",
+			req.BaseVersion, req.CurrentVersion),
+	}, nil
+}
+
+// Registry maps object type names to resolvers.
+type Registry struct {
+	mu       sync.RWMutex
+	byType   map[string]Resolver
+	fallback Resolver
+}
+
+// NewRegistry builds a registry. The fallback applies when a type has no
+// specific resolver; nil selects Replay (the paper expects "many conflicts
+// can be resolved automatically").
+func NewRegistry(fallback Resolver) *Registry {
+	if fallback == nil {
+		fallback = Replay
+	}
+	return &Registry{byType: make(map[string]Resolver), fallback: fallback}
+}
+
+// Register installs a resolver for an object type.
+func (r *Registry) Register(typeName string, res Resolver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byType[typeName] = res
+}
+
+// For returns the resolver for a type.
+func (r *Registry) For(typeName string) Resolver {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if res, ok := r.byType[typeName]; ok {
+		return res
+	}
+	return r.fallback
+}

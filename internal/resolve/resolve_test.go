@@ -1,0 +1,152 @@
+package resolve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rover/internal/rdo"
+	"rover/internal/urn"
+)
+
+// calObj is a miniature calendar: slots are state keys, schedule refuses
+// an occupied slot — the paper's canonical type-specific conflict example.
+func calObj() *rdo.Object {
+	o := rdo.New(urn.MustParse("urn:rover:cal/book"), "calendar")
+	o.Code = `
+		proc schedule {slot what} {
+			if {[state exists $slot]} {
+				error "slot $slot already taken by [state get $slot]"
+			}
+			state set $slot $what
+		}
+	`
+	return o
+}
+
+func makeRequest(t *testing.T, obj *rdo.Object, invs []rdo.Invocation) *Request {
+	t.Helper()
+	env, err := rdo.NewEnv(obj, rdo.EnvOptions{Sandbox: rdo.Restricted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Request{
+		Object:         obj,
+		BaseVersion:    1,
+		CurrentVersion: 2,
+		Invocations:    invs,
+		Replay: func() error {
+			for _, inv := range invs {
+				if _, err := env.Invoke(inv.Method, inv.Args...); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestReplayResolverMergesCommutingOps(t *testing.T) {
+	obj := calObj()
+	obj.Set("mon-9", "standup") // concurrent update already committed
+	req := makeRequest(t, obj, []rdo.Invocation{
+		{Method: "schedule", Args: []string{"tue-10", "thesis defense"}},
+	})
+	res, err := Replay(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Applied {
+		t.Fatalf("commuting op rejected: %s", res.Message)
+	}
+	if v, _ := obj.Get("tue-10"); v != "thesis defense" {
+		t.Error("op not applied to object")
+	}
+}
+
+func TestReplayResolverRejectsTrueConflict(t *testing.T) {
+	obj := calObj()
+	obj.Set("mon-9", "standup")
+	req := makeRequest(t, obj, []rdo.Invocation{
+		{Method: "schedule", Args: []string{"mon-9", "dentist"}},
+	})
+	res, err := Replay(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied {
+		t.Fatal("overlapping op applied")
+	}
+	if !strings.Contains(res.Message, "already taken") {
+		t.Errorf("message: %q", res.Message)
+	}
+}
+
+func TestRejectResolver(t *testing.T) {
+	obj := calObj()
+	req := makeRequest(t, obj, nil)
+	res, err := Reject(req)
+	if err != nil || res.Applied {
+		t.Fatalf("Reject: %+v, %v", res, err)
+	}
+	if !strings.Contains(res.Message, "concurrent update") {
+		t.Errorf("message: %q", res.Message)
+	}
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	reg := NewRegistry(nil)
+	custom := func(req *Request) (Result, error) {
+		return Result{Applied: false, Message: "custom"}, nil
+	}
+	reg.Register("special", custom)
+
+	if res, _ := reg.For("special")(&Request{}); res.Message != "custom" {
+		t.Error("registered resolver not dispatched")
+	}
+	// Unregistered type falls back to Replay.
+	obj := calObj()
+	req := makeRequest(t, obj, []rdo.Invocation{
+		{Method: "schedule", Args: []string{"wed-1", "x"}},
+	})
+	res, err := reg.For("unknown-type")(req)
+	if err != nil || !res.Applied {
+		t.Errorf("fallback: %+v, %v", res, err)
+	}
+}
+
+func TestRegistryCustomFallback(t *testing.T) {
+	reg := NewRegistry(Reject)
+	res, err := reg.For("anything")(&Request{BaseVersion: 1, CurrentVersion: 3})
+	if err != nil || res.Applied {
+		t.Errorf("custom fallback: %+v, %v", res, err)
+	}
+}
+
+func TestResolverErrorPropagates(t *testing.T) {
+	boom := errors.New("resolver crashed")
+	reg := NewRegistry(func(*Request) (Result, error) { return Result{}, boom })
+	if _, err := reg.For("t")(&Request{}); !errors.Is(err, boom) {
+		t.Errorf("error: %v", err)
+	}
+}
+
+func TestPartialReplayStopsAtFirstFailure(t *testing.T) {
+	obj := calObj()
+	obj.Set("mon-9", "standup")
+	req := makeRequest(t, obj, []rdo.Invocation{
+		{Method: "schedule", Args: []string{"tue-1", "a"}},
+		{Method: "schedule", Args: []string{"mon-9", "clash"}},
+		{Method: "schedule", Args: []string{"wed-2", "b"}},
+	})
+	res, _ := Replay(req)
+	if res.Applied {
+		t.Fatal("batch with conflict applied")
+	}
+	// The store layer discards the working copy on rejection, so partial
+	// application inside the clone is fine; verify replay stopped (wed-2
+	// never applied).
+	if _, ok := obj.Get("wed-2"); ok {
+		t.Error("replay continued past failure")
+	}
+}

@@ -1,0 +1,850 @@
+package rscript
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The expr evaluator. As in Tcl, `expr` (and the conditions of if/while/
+// for) receives a string and performs its own round of variable and
+// command substitution while tokenizing, which is why conditions are
+// normally brace-quoted. Values are typed int64, float64, or string;
+// arithmetic promotes int to float; comparison operators compare
+// numerically when both operands parse as numbers and lexically otherwise;
+// `eq` and `ne` always compare as strings.
+//
+// Substitution is eager (the whole expression is tokenized before
+// evaluation), so `&&`/`||` short-circuit the *evaluation* but not the
+// substitution of their right operands. The step budget still bounds any
+// recursion this permits.
+
+type valueKind int
+
+const (
+	vInt valueKind = iota
+	vFloat
+	vString
+)
+
+type value struct {
+	kind valueKind
+	i    int64
+	f    float64
+	s    string
+}
+
+func intVal(i int64) value     { return value{kind: vInt, i: i} }
+func floatVal(f float64) value { return value{kind: vFloat, f: f} }
+func strVal(s string) value    { return value{kind: vString, s: s} }
+func boolVal(b bool) value {
+	if b {
+		return intVal(1)
+	}
+	return intVal(0)
+}
+
+func (v value) String() string {
+	switch v.kind {
+	case vInt:
+		return strconv.FormatInt(v.i, 10)
+	case vFloat:
+		return formatFloat(v.f)
+	default:
+		return v.s
+	}
+}
+
+// formatFloat renders a float so that integral values keep a ".0" marker,
+// as Tcl does, so floatness survives round trips through strings.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		s += ".0"
+	}
+	return s
+}
+
+func (v value) isNumeric() bool { return v.kind != vString }
+
+func (v value) asFloat() float64 {
+	switch v.kind {
+	case vInt:
+		return float64(v.i)
+	case vFloat:
+		return v.f
+	}
+	return 0
+}
+
+// classify parses a string into the most specific numeric value.
+func classify(s string) value {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return strVal(s)
+	}
+	if i, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return intVal(i)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return floatVal(f)
+	}
+	return strVal(s)
+}
+
+// exprToken kinds.
+type exprTokKind int
+
+const (
+	tokValue exprTokKind = iota
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+	tokIdent
+)
+
+type exprTok struct {
+	kind exprTokKind
+	val  value
+	op   string
+	id   string
+}
+
+// tokenizeExpr scans src, resolving $var and [cmd] substitutions.
+func tokenizeExpr(ip *Interp, src string) ([]exprTok, *flow) {
+	var toks []exprTok
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			isFloat := false
+			for j < n {
+				cj := src[j]
+				if cj >= '0' && cj <= '9' || cj == '.' ||
+					cj == 'x' || cj == 'X' ||
+					(cj >= 'a' && cj <= 'f' || cj >= 'A' && cj <= 'F') && strings.HasPrefix(strings.ToLower(src[i:]), "0x") ||
+					(cj == 'e' || cj == 'E') && !strings.HasPrefix(strings.ToLower(src[i:]), "0x") ||
+					(cj == '+' || cj == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E') && !strings.HasPrefix(strings.ToLower(src[i:]), "0x") {
+					if cj == '.' || cj == 'e' || cj == 'E' {
+						isFloat = true
+					}
+					j++
+					continue
+				}
+				break
+			}
+			lit := src[i:j]
+			if isFloat && !strings.HasPrefix(strings.ToLower(lit), "0x") {
+				f, err := strconv.ParseFloat(lit, 64)
+				if err != nil {
+					return nil, errorFlow("expr: bad number %q", lit)
+				}
+				toks = append(toks, exprTok{kind: tokValue, val: floatVal(f)})
+			} else {
+				v, err := strconv.ParseInt(lit, 0, 64)
+				if err != nil {
+					return nil, errorFlow("expr: bad number %q", lit)
+				}
+				toks = append(toks, exprTok{kind: tokValue, val: intVal(v)})
+			}
+			i = j
+		case c == '$':
+			p := &parser{src: src, pos: i, line: 1}
+			name, ok := p.scanVarName()
+			if !ok {
+				return nil, errorFlow("expr: bad variable reference")
+			}
+			i = p.pos
+			v, found := ip.lookupVar(name)
+			if !found {
+				return nil, errorFlow("can't read %q: no such variable", name)
+			}
+			toks = append(toks, exprTok{kind: tokValue, val: classify(v)})
+		case c == '[':
+			p := &parser{src: src, pos: i + 1, line: 1}
+			inner, err := p.parseScript(']')
+			if err != nil {
+				return nil, errorFlow("expr: %v", err)
+			}
+			i = p.pos
+			v, f := ip.evalScript(inner)
+			if f != nil {
+				if f.kind == flowReturn {
+					v = f.val
+				} else {
+					return nil, f
+				}
+			}
+			toks = append(toks, exprTok{kind: tokValue, val: classify(v)})
+		case c == '"':
+			var sb strings.Builder
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					val, consumed := scanEscape(src[j:])
+					sb.WriteString(val)
+					j += consumed
+					continue
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, errorFlow("expr: missing close quote")
+			}
+			toks = append(toks, exprTok{kind: tokValue, val: strVal(sb.String())})
+			i = j + 1
+		case c == '{':
+			depth := 1
+			j := i + 1
+			for j < n && depth > 0 {
+				switch src[j] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, errorFlow("expr: missing close brace")
+			}
+			toks = append(toks, exprTok{kind: tokValue, val: strVal(src[i+1 : j-1])})
+			i = j
+		case c == '(':
+			toks = append(toks, exprTok{kind: tokLParen})
+			i++
+		case c == ')':
+			toks = append(toks, exprTok{kind: tokRParen})
+			i++
+		case c == ',':
+			toks = append(toks, exprTok{kind: tokComma})
+			i++
+		case isAlpha(c):
+			j := i
+			for j < n && (isAlpha(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, exprTok{kind: tokIdent, id: src[i:j]})
+			i = j
+		default:
+			for _, op := range exprOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, exprTok{kind: tokOp, op: op})
+					i += len(op)
+					goto next
+				}
+			}
+			return nil, errorFlow("expr: unexpected character %q", string(c))
+		next:
+		}
+	}
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// exprOps lists operators longest-first so the tokenizer matches greedily.
+var exprOps = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "**",
+	"+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^",
+}
+
+type exprParser struct {
+	toks []exprTok
+	pos  int
+	ip   *Interp
+}
+
+// evalExpr evaluates an expression string with substitution.
+func (ip *Interp) evalExpr(src string) (value, *flow) {
+	toks, f := tokenizeExpr(ip, src)
+	if f != nil {
+		return value{}, f
+	}
+	p := &exprParser{toks: toks, ip: ip}
+	v, flw := p.parseOr()
+	if flw != nil {
+		return value{}, flw
+	}
+	if p.pos != len(p.toks) {
+		return value{}, errorFlow("expr: trailing tokens in %q", src)
+	}
+	return v, nil
+}
+
+// Truthy evaluates src as a boolean condition.
+func (ip *Interp) truthy(src string) (bool, *flow) {
+	v, f := ip.evalExpr(src)
+	if f != nil {
+		return false, f
+	}
+	return valueTruthy(v)
+}
+
+func valueTruthy(v value) (bool, *flow) {
+	switch v.kind {
+	case vInt:
+		return v.i != 0, nil
+	case vFloat:
+		return v.f != 0, nil
+	default:
+		switch strings.ToLower(strings.TrimSpace(v.s)) {
+		case "true", "yes", "on", "1":
+			return true, nil
+		case "false", "no", "off", "0", "":
+			return false, nil
+		}
+		return false, errorFlow("expected boolean value but got %q", v.s)
+	}
+}
+
+func (p *exprParser) peek() *exprTok {
+	if p.pos < len(p.toks) {
+		return &p.toks[p.pos]
+	}
+	return nil
+}
+
+func (p *exprParser) acceptOp(ops ...string) (string, bool) {
+	t := p.peek()
+	if t == nil || t.kind != tokOp {
+		return "", false
+	}
+	for _, op := range ops {
+		if t.op == op {
+			p.pos++
+			return op, true
+		}
+	}
+	return "", false
+}
+
+func (p *exprParser) acceptIdent(ids ...string) (string, bool) {
+	t := p.peek()
+	if t == nil || t.kind != tokIdent {
+		return "", false
+	}
+	for _, id := range ids {
+		if t.id == id {
+			p.pos++
+			return id, true
+		}
+	}
+	return "", false
+}
+
+func (p *exprParser) parseOr() (value, *flow) {
+	left, f := p.parseAnd()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		if _, ok := p.acceptOp("||"); !ok {
+			return left, nil
+		}
+		right, f := p.parseAnd()
+		if f != nil {
+			return value{}, f
+		}
+		lb, f := valueTruthy(left)
+		if f != nil {
+			return value{}, f
+		}
+		if lb {
+			left = boolVal(true)
+			continue
+		}
+		rb, f := valueTruthy(right)
+		if f != nil {
+			return value{}, f
+		}
+		left = boolVal(rb)
+	}
+}
+
+func (p *exprParser) parseAnd() (value, *flow) {
+	left, f := p.parseBitOr()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		if _, ok := p.acceptOp("&&"); !ok {
+			return left, nil
+		}
+		right, f := p.parseBitOr()
+		if f != nil {
+			return value{}, f
+		}
+		lb, f := valueTruthy(left)
+		if f != nil {
+			return value{}, f
+		}
+		if !lb {
+			left = boolVal(false)
+			continue
+		}
+		rb, f := valueTruthy(right)
+		if f != nil {
+			return value{}, f
+		}
+		left = boolVal(rb)
+	}
+}
+
+func (p *exprParser) parseBitOr() (value, *flow) {
+	return p.binaryInt([]string{"|"}, p.parseBitXor, func(a, b int64) (int64, *flow) { return a | b, nil })
+}
+
+func (p *exprParser) parseBitXor() (value, *flow) {
+	return p.binaryInt([]string{"^"}, p.parseBitAnd, func(a, b int64) (int64, *flow) { return a ^ b, nil })
+}
+
+func (p *exprParser) parseBitAnd() (value, *flow) {
+	return p.binaryInt([]string{"&"}, p.parseEquality, func(a, b int64) (int64, *flow) { return a & b, nil })
+}
+
+func (p *exprParser) binaryInt(ops []string, sub func() (value, *flow), apply func(a, b int64) (int64, *flow)) (value, *flow) {
+	left, f := sub()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		op, ok := p.acceptOp(ops...)
+		if !ok {
+			return left, nil
+		}
+		right, f := sub()
+		if f != nil {
+			return value{}, f
+		}
+		if left.kind != vInt || right.kind != vInt {
+			return value{}, errorFlow("expr: operator %q requires integer operands", op)
+		}
+		r, f := apply(left.i, right.i)
+		if f != nil {
+			return value{}, f
+		}
+		left = intVal(r)
+	}
+}
+
+func (p *exprParser) parseEquality() (value, *flow) {
+	left, f := p.parseRelational()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		if op, ok := p.acceptOp("==", "!="); ok {
+			right, f := p.parseRelational()
+			if f != nil {
+				return value{}, f
+			}
+			eq := valuesEqual(left, right)
+			if op == "!=" {
+				eq = !eq
+			}
+			left = boolVal(eq)
+			continue
+		}
+		if id, ok := p.acceptIdent("eq", "ne"); ok {
+			right, f := p.parseRelational()
+			if f != nil {
+				return value{}, f
+			}
+			eq := left.String() == right.String()
+			if id == "ne" {
+				eq = !eq
+			}
+			left = boolVal(eq)
+			continue
+		}
+		return left, nil
+	}
+}
+
+func valuesEqual(a, b value) bool {
+	if a.isNumeric() && b.isNumeric() {
+		if a.kind == vInt && b.kind == vInt {
+			return a.i == b.i
+		}
+		return a.asFloat() == b.asFloat()
+	}
+	// Tcl coerces: "5" == 5 is true. classify() already promoted numeric
+	// strings at tokenization, so remaining strings are non-numeric.
+	return a.String() == b.String()
+}
+
+func (p *exprParser) parseRelational() (value, *flow) {
+	left, f := p.parseShift()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		op, ok := p.acceptOp("<", ">", "<=", ">=")
+		if !ok {
+			return left, nil
+		}
+		right, f := p.parseShift()
+		if f != nil {
+			return value{}, f
+		}
+		var cmp int
+		if left.isNumeric() && right.isNumeric() {
+			lf, rf := left.asFloat(), right.asFloat()
+			switch {
+			case lf < rf:
+				cmp = -1
+			case lf > rf:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(left.String(), right.String())
+		}
+		var r bool
+		switch op {
+		case "<":
+			r = cmp < 0
+		case ">":
+			r = cmp > 0
+		case "<=":
+			r = cmp <= 0
+		case ">=":
+			r = cmp >= 0
+		}
+		left = boolVal(r)
+	}
+}
+
+func (p *exprParser) parseShift() (value, *flow) {
+	return p.binaryIntOp([]string{"<<", ">>"}, p.parseAdditive, func(op string, a, b int64) (int64, *flow) {
+		if b < 0 || b > 63 {
+			return 0, errorFlow("expr: shift count %d out of range", b)
+		}
+		if op == "<<" {
+			return a << uint(b), nil
+		}
+		return a >> uint(b), nil
+	})
+}
+
+// binaryIntOp is binaryInt for operator families that need the matched
+// operator to compute the result.
+func (p *exprParser) binaryIntOp(ops []string, sub func() (value, *flow), apply func(op string, a, b int64) (int64, *flow)) (value, *flow) {
+	left, f := sub()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		op, ok := p.acceptOp(ops...)
+		if !ok {
+			return left, nil
+		}
+		right, f := sub()
+		if f != nil {
+			return value{}, f
+		}
+		if left.kind != vInt || right.kind != vInt {
+			return value{}, errorFlow("expr: operator %q requires integer operands", op)
+		}
+		r, f := apply(op, left.i, right.i)
+		if f != nil {
+			return value{}, f
+		}
+		left = intVal(r)
+	}
+}
+
+func (p *exprParser) parseAdditive() (value, *flow) {
+	left, f := p.parseMultiplicative()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		op, ok := p.acceptOp("+", "-")
+		if !ok {
+			return left, nil
+		}
+		right, f := p.parseMultiplicative()
+		if f != nil {
+			return value{}, f
+		}
+		left, f = arith(op, left, right)
+		if f != nil {
+			return value{}, f
+		}
+	}
+}
+
+func (p *exprParser) parseMultiplicative() (value, *flow) {
+	left, f := p.parseUnary()
+	if f != nil {
+		return value{}, f
+	}
+	for {
+		op, ok := p.acceptOp("*", "/", "%", "**")
+		if !ok {
+			return left, nil
+		}
+		right, f := p.parseUnary()
+		if f != nil {
+			return value{}, f
+		}
+		left, f = arith(op, left, right)
+		if f != nil {
+			return value{}, f
+		}
+	}
+}
+
+func arith(op string, a, b value) (value, *flow) {
+	if !a.isNumeric() || !b.isNumeric() {
+		return value{}, errorFlow("expr: operator %q requires numeric operands (got %q, %q)", op, a.String(), b.String())
+	}
+	if a.kind == vInt && b.kind == vInt {
+		switch op {
+		case "+":
+			return intVal(a.i + b.i), nil
+		case "-":
+			return intVal(a.i - b.i), nil
+		case "*":
+			return intVal(a.i * b.i), nil
+		case "/":
+			if b.i == 0 {
+				return value{}, errorFlow("expr: divide by zero")
+			}
+			// Tcl floors integer division toward negative infinity.
+			q := a.i / b.i
+			if (a.i%b.i != 0) && ((a.i < 0) != (b.i < 0)) {
+				q--
+			}
+			return intVal(q), nil
+		case "%":
+			if b.i == 0 {
+				return value{}, errorFlow("expr: divide by zero")
+			}
+			m := a.i % b.i
+			if m != 0 && (m < 0) != (b.i < 0) {
+				m += b.i
+			}
+			return intVal(m), nil
+		case "**":
+			if b.i < 0 {
+				return floatVal(math.Pow(float64(a.i), float64(b.i))), nil
+			}
+			r := int64(1)
+			for k := int64(0); k < b.i; k++ {
+				r *= a.i
+			}
+			return intVal(r), nil
+		}
+	}
+	lf, rf := a.asFloat(), b.asFloat()
+	switch op {
+	case "+":
+		return floatVal(lf + rf), nil
+	case "-":
+		return floatVal(lf - rf), nil
+	case "*":
+		return floatVal(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return value{}, errorFlow("expr: divide by zero")
+		}
+		return floatVal(lf / rf), nil
+	case "%":
+		return value{}, errorFlow("expr: %% requires integer operands")
+	case "**":
+		return floatVal(math.Pow(lf, rf)), nil
+	}
+	return value{}, errorFlow("expr: unknown operator %q", op)
+}
+
+func (p *exprParser) parseUnary() (value, *flow) {
+	if op, ok := p.acceptOp("-", "+", "!", "~"); ok {
+		v, f := p.parseUnary()
+		if f != nil {
+			return value{}, f
+		}
+		switch op {
+		case "-":
+			switch v.kind {
+			case vInt:
+				return intVal(-v.i), nil
+			case vFloat:
+				return floatVal(-v.f), nil
+			}
+			return value{}, errorFlow("expr: unary - on non-number %q", v.String())
+		case "+":
+			if !v.isNumeric() {
+				return value{}, errorFlow("expr: unary + on non-number %q", v.String())
+			}
+			return v, nil
+		case "!":
+			b, f := valueTruthy(v)
+			if f != nil {
+				return value{}, f
+			}
+			return boolVal(!b), nil
+		case "~":
+			if v.kind != vInt {
+				return value{}, errorFlow("expr: ~ requires an integer")
+			}
+			return intVal(^v.i), nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (value, *flow) {
+	t := p.peek()
+	if t == nil {
+		return value{}, errorFlow("expr: unexpected end of expression")
+	}
+	switch t.kind {
+	case tokValue:
+		p.pos++
+		return t.val, nil
+	case tokLParen:
+		p.pos++
+		v, f := p.parseOr()
+		if f != nil {
+			return value{}, f
+		}
+		if tt := p.peek(); tt == nil || tt.kind != tokRParen {
+			return value{}, errorFlow("expr: missing close paren")
+		}
+		p.pos++
+		return v, nil
+	case tokIdent:
+		id := t.id
+		p.pos++
+		switch id {
+		case "true", "yes", "on":
+			return boolVal(true), nil
+		case "false", "no", "off":
+			return boolVal(false), nil
+		}
+		// Function call.
+		if tt := p.peek(); tt != nil && tt.kind == tokLParen {
+			p.pos++
+			var args []value
+			if tt2 := p.peek(); tt2 != nil && tt2.kind == tokRParen {
+				p.pos++
+			} else {
+				for {
+					v, f := p.parseOr()
+					if f != nil {
+						return value{}, f
+					}
+					args = append(args, v)
+					tt2 := p.peek()
+					if tt2 == nil {
+						return value{}, errorFlow("expr: missing close paren")
+					}
+					if tt2.kind == tokComma {
+						p.pos++
+						continue
+					}
+					if tt2.kind == tokRParen {
+						p.pos++
+						break
+					}
+					return value{}, errorFlow("expr: bad function arguments")
+				}
+			}
+			return applyFunc(id, args)
+		}
+		return value{}, errorFlow("expr: bare word %q (quote strings)", id)
+	}
+	return value{}, errorFlow("expr: unexpected token")
+}
+
+func applyFunc(name string, args []value) (value, *flow) {
+	need := func(n int) *flow {
+		if len(args) != n {
+			return errorFlow("expr: %s() takes %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	numeric := func() *flow {
+		for _, a := range args {
+			if !a.isNumeric() {
+				return errorFlow("expr: %s() requires numeric arguments", name)
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "abs":
+		if f := need(1); f != nil {
+			return value{}, f
+		}
+		if f := numeric(); f != nil {
+			return value{}, f
+		}
+		if args[0].kind == vInt {
+			if args[0].i < 0 {
+				return intVal(-args[0].i), nil
+			}
+			return args[0], nil
+		}
+		return floatVal(math.Abs(args[0].f)), nil
+	case "int":
+		if f := need(1); f != nil {
+			return value{}, f
+		}
+		if f := numeric(); f != nil {
+			return value{}, f
+		}
+		return intVal(int64(args[0].asFloat())), nil
+	case "double":
+		if f := need(1); f != nil {
+			return value{}, f
+		}
+		if f := numeric(); f != nil {
+			return value{}, f
+		}
+		return floatVal(args[0].asFloat()), nil
+	case "round":
+		if f := need(1); f != nil {
+			return value{}, f
+		}
+		if f := numeric(); f != nil {
+			return value{}, f
+		}
+		return intVal(int64(math.Round(args[0].asFloat()))), nil
+	case "sqrt":
+		if f := need(1); f != nil {
+			return value{}, f
+		}
+		if f := numeric(); f != nil {
+			return value{}, f
+		}
+		return floatVal(math.Sqrt(args[0].asFloat())), nil
+	case "min", "max":
+		if len(args) == 0 {
+			return value{}, errorFlow("expr: %s() needs at least one argument", name)
+		}
+		if f := numeric(); f != nil {
+			return value{}, f
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if name == "min" && a.asFloat() < best.asFloat() ||
+				name == "max" && a.asFloat() > best.asFloat() {
+				best = a
+			}
+		}
+		return best, nil
+	}
+	return value{}, errorFlow("expr: unknown function %q", name)
+}

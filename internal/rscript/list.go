@@ -1,0 +1,170 @@
+package rscript
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tcl-style list handling. Everything in rscript is a string; a list is a
+// string whose elements are separated by whitespace, with braces or quotes
+// grouping elements that contain whitespace themselves. These helpers are
+// exported because RDO state dictionaries and application payloads are
+// rscript lists, and Go-side code (the apps, the server execution
+// environment) must build and parse them compatibly.
+
+// FormatList renders elems as a single list string such that ParseList
+// returns the original elements.
+func FormatList(elems []string) string {
+	var sb strings.Builder
+	for i, e := range elems {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(quoteElem(e))
+	}
+	return sb.String()
+}
+
+// quoteElem quotes a single list element if needed.
+func quoteElem(e string) string {
+	if e == "" {
+		return "{}"
+	}
+	if !needsQuote(e) {
+		return e
+	}
+	if balancedBraces(e) && !strings.HasSuffix(e, "\\") {
+		return "{" + e + "}"
+	}
+	// Fall back to backslash escaping.
+	var sb strings.Builder
+	for i := 0; i < len(e); i++ {
+		c := e[i]
+		switch c {
+		case ' ', '\t', '{', '}', '"', '\\', ';', '$', '[', ']':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func needsQuote(e string) bool {
+	return strings.ContainsAny(e, " \t\n\r{}\"\\;$[]")
+}
+
+// balancedBraces reports whether braces in s nest properly, so the string
+// can be enclosed in braces verbatim.
+func balancedBraces(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // escaped char never affects nesting
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+// ParseList splits a list string into its elements.
+func ParseList(s string) ([]string, error) {
+	var elems []string
+	i := 0
+	n := len(s)
+	for {
+		for i < n && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+			i++
+		}
+		if i >= n {
+			return elems, nil
+		}
+		switch s[i] {
+		case '{':
+			depth := 1
+			j := i + 1
+			for j < n && depth > 0 {
+				switch s[j] {
+				case '\\':
+					j++
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("rscript: unmatched open brace in list")
+			}
+			elems = append(elems, s[i+1:j-1])
+			i = j
+			if i < n && !isListSpace(s[i]) {
+				return nil, fmt.Errorf("rscript: junk after closing brace in list")
+			}
+		case '"':
+			var sb strings.Builder
+			j := i + 1
+			for j < n && s[j] != '"' {
+				if s[j] == '\\' && j+1 < n {
+					sb.WriteByte(unescapeChar(s[j+1]))
+					j += 2
+					continue
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("rscript: unmatched quote in list")
+			}
+			elems = append(elems, sb.String())
+			i = j + 1
+			if i < n && !isListSpace(s[i]) {
+				return nil, fmt.Errorf("rscript: junk after closing quote in list")
+			}
+		default:
+			var sb strings.Builder
+			j := i
+			for j < n && !isListSpace(s[j]) {
+				if s[j] == '\\' && j+1 < n {
+					sb.WriteByte(unescapeChar(s[j+1]))
+					j += 2
+					continue
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			elems = append(elems, sb.String())
+			i = j
+		}
+	}
+}
+
+func isListSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func unescapeChar(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	default:
+		return c
+	}
+}

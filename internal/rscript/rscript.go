@@ -1,0 +1,473 @@
+// Package rscript implements the interpreted language in which Rover RDO
+// code ships between clients and servers.
+//
+// The paper implements relocatable dynamic objects in interpreted Tcl,
+// choosing "code interpretation with limited environments (e.g. Safe-Tcl)"
+// as its answer to the three conflicting goals of RDO implementation:
+// safe execution, portability, and efficiency. Go cannot load native code
+// dynamically in a portable, safe way, so this reproduction does exactly
+// what the paper did: RDO methods are source text in a small Tcl-like
+// language, evaluated by this interpreter inside a sandbox whose command
+// table and resource budgets the host controls.
+//
+// The language is a pragmatic subset of Tcl: everything is a string;
+// command and variable substitution work as in Tcl; control flow (if,
+// while, for, foreach, switch), procedures with defaults and varargs,
+// error handling (error/catch), list and string commands, and an expr
+// evaluator with integer, float, and string comparison semantics.
+//
+// Safety comes from three mechanisms, mirroring the Safe-Tcl discussion in
+// the paper: a restricted command table (hosts choose which commands an
+// untrusted RDO may call), a step budget bounding total execution, and a
+// recursion depth limit.
+package rscript
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Error is an rscript runtime error.
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return "rscript: " + e.Msg }
+
+// ErrBudget is returned (wrapped in *Error) when a script exhausts its
+// step budget. Hosts detect runaway RDOs by errors.Is against this.
+var ErrBudget = errors.New("step budget exhausted")
+
+// ErrDepth is returned when recursion exceeds the depth limit.
+var ErrDepth = errors.New("recursion depth exceeded")
+
+// Options configure an interpreter.
+type Options struct {
+	// StepBudget bounds the number of commands the interpreter will
+	// execute across its lifetime; 0 means unlimited. Each Eval call
+	// charges against the same budget, so an RDO cannot evade the bound by
+	// making many small calls.
+	StepBudget int64
+	// MaxDepth bounds proc-call/eval nesting; 0 means a default of 200.
+	MaxDepth int
+	// Stdout receives `puts` output; nil discards it.
+	Stdout io.Writer
+}
+
+// CmdFunc is a host command callable from scripts.
+type CmdFunc func(ip *Interp, args []string) (string, error)
+
+// internal command entry: control commands need flow access.
+type command struct {
+	fn func(ip *Interp, args []string) (string, *flow)
+}
+
+// flow carries non-local control: return, break, continue, error.
+type flowKind int
+
+const (
+	flowReturn flowKind = iota + 1
+	flowBreak
+	flowContinue
+	flowError
+)
+
+type flow struct {
+	kind flowKind
+	val  string // return value or error message
+	err  error  // optional underlying error (ErrBudget etc.)
+}
+
+func errorFlow(format string, args ...any) *flow {
+	return &flow{kind: flowError, val: fmt.Sprintf(format, args...)}
+}
+
+// Proc is a script-defined procedure.
+type Proc struct {
+	Name   string
+	Params []param
+	Body   string
+	body   *Script // parsed lazily
+}
+
+type param struct {
+	name     string
+	def      string
+	hasDef   bool
+	variadic bool // the trailing "args" parameter
+}
+
+// frame is one level of local variables.
+type frame struct {
+	vars  map[string]string
+	links map[string]*frame // variables linked to another frame (global/upvar)
+}
+
+func newFrame() *frame {
+	return &frame{vars: make(map[string]string)}
+}
+
+// Interp is an rscript interpreter. An Interp is not safe for concurrent
+// use; RDO execution environments serialize access per object.
+type Interp struct {
+	opts   Options
+	global *frame
+	stack  []*frame // stack[0] == global
+	cmds   map[string]command
+	procs  map[string]*Proc
+	cache  map[string]*Script
+	steps  int64
+	depth  int
+}
+
+const (
+	defaultMaxDepth = 200
+	cacheLimit      = 512
+)
+
+// New returns an interpreter with the full builtin command set.
+func New(opts Options) *Interp {
+	ip := &Interp{
+		opts:   opts,
+		global: newFrame(),
+		cmds:   make(map[string]command),
+		procs:  make(map[string]*Proc),
+		cache:  make(map[string]*Script),
+	}
+	ip.stack = []*frame{ip.global}
+	registerBuiltins(ip)
+	return ip
+}
+
+// Register installs (or replaces) a host command.
+func (ip *Interp) Register(name string, fn CmdFunc) {
+	ip.cmds[name] = command{fn: func(ip *Interp, args []string) (string, *flow) {
+		v, err := fn(ip, args)
+		if err != nil {
+			return "", &flow{kind: flowError, val: err.Error(), err: err}
+		}
+		return v, nil
+	}}
+}
+
+// Unregister removes a command from the table. Removing builtins is how
+// hosts build restricted sandboxes.
+func (ip *Interp) Unregister(name string) { delete(ip.cmds, name) }
+
+// Commands returns the sorted-later names of all registered commands
+// (including builtins); used by `info commands` and sandbox auditing.
+func (ip *Interp) Commands() []string {
+	names := make([]string, 0, len(ip.cmds)+len(ip.procs))
+	for n := range ip.cmds {
+		names = append(names, n)
+	}
+	for n := range ip.procs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// StepsUsed reports how many commands have executed.
+func (ip *Interp) StepsUsed() int64 { return ip.steps }
+
+// ResetBudget restores the full step budget (hosts call this between
+// method invocations when the budget is per-invocation).
+func (ip *Interp) ResetBudget() { ip.steps = 0 }
+
+// SetVar sets a global variable.
+func (ip *Interp) SetVar(name, value string) { ip.global.vars[name] = value }
+
+// GetVar reads a global variable.
+func (ip *Interp) GetVar(name string) (string, bool) {
+	v, ok := ip.global.vars[name]
+	return v, ok
+}
+
+// UnsetVar removes a global variable.
+func (ip *Interp) UnsetVar(name string) { delete(ip.global.vars, name) }
+
+// GlobalVars returns a copy of the global variable table; the RDO layer
+// uses this to capture object state after method execution.
+func (ip *Interp) GlobalVars() map[string]string {
+	out := make(map[string]string, len(ip.global.vars))
+	for k, v := range ip.global.vars {
+		out[k] = v
+	}
+	return out
+}
+
+// Eval parses (with caching) and evaluates src, returning the value of the
+// last command.
+func (ip *Interp) Eval(src string) (string, error) {
+	s, err := ip.parseCached(src)
+	if err != nil {
+		return "", err
+	}
+	v, f := ip.evalScript(s)
+	return finish(v, f)
+}
+
+// Call invokes a script-defined procedure by name.
+func (ip *Interp) Call(name string, args ...string) (string, error) {
+	proc, ok := ip.procs[name]
+	if !ok {
+		return "", &Error{Msg: fmt.Sprintf("invalid command name %q", name)}
+	}
+	v, f := ip.callProc(proc, args)
+	return finish(v, f)
+}
+
+// HasProc reports whether a procedure is defined.
+func (ip *Interp) HasProc(name string) bool {
+	_, ok := ip.procs[name]
+	return ok
+}
+
+// Procs returns the names of all defined procedures.
+func (ip *Interp) Procs() []string {
+	out := make([]string, 0, len(ip.procs))
+	for n := range ip.procs {
+		out = append(out, n)
+	}
+	return out
+}
+
+func finish(v string, f *flow) (string, error) {
+	if f == nil {
+		return v, nil
+	}
+	switch f.kind {
+	case flowReturn:
+		return f.val, nil
+	case flowError:
+		if f.err != nil {
+			return "", &Error{Msg: f.val + ": " + f.err.Error()}
+		}
+		return "", &Error{Msg: f.val}
+	case flowBreak:
+		return "", &Error{Msg: `invoked "break" outside of a loop`}
+	case flowContinue:
+		return "", &Error{Msg: `invoked "continue" outside of a loop`}
+	}
+	return v, nil
+}
+
+func (ip *Interp) parseCached(src string) (*Script, error) {
+	if s, ok := ip.cache[src]; ok {
+		return s, nil
+	}
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ip.cache) >= cacheLimit {
+		ip.cache = make(map[string]*Script) // simple full reset
+	}
+	ip.cache[src] = s
+	return s, nil
+}
+
+// current returns the active frame.
+func (ip *Interp) current() *frame { return ip.stack[len(ip.stack)-1] }
+
+// lookupVar resolves a variable in the active frame, following links.
+func (ip *Interp) lookupVar(name string) (string, bool) {
+	fr := ip.current()
+	if fr.links != nil {
+		if target, ok := fr.links[name]; ok {
+			v, ok := target.vars[name]
+			return v, ok
+		}
+	}
+	v, ok := fr.vars[name]
+	return v, ok
+}
+
+// setVarLocal writes a variable in the active frame, following links.
+func (ip *Interp) setVarLocal(name, value string) {
+	fr := ip.current()
+	if fr.links != nil {
+		if target, ok := fr.links[name]; ok {
+			target.vars[name] = value
+			return
+		}
+	}
+	fr.vars[name] = value
+}
+
+// unsetVarLocal removes a variable, following links. Reports whether it
+// existed.
+func (ip *Interp) unsetVarLocal(name string) bool {
+	fr := ip.current()
+	if fr.links != nil {
+		if target, ok := fr.links[name]; ok {
+			_, existed := target.vars[name]
+			delete(target.vars, name)
+			return existed
+		}
+	}
+	_, existed := fr.vars[name]
+	delete(fr.vars, name)
+	return existed
+}
+
+// evalScript runs every command; value is the last command's result.
+func (ip *Interp) evalScript(s *Script) (string, *flow) {
+	var val string
+	for _, cmd := range s.Cmds {
+		v, f := ip.evalCommand(cmd)
+		if f != nil {
+			return "", f
+		}
+		val = v
+	}
+	return val, nil
+}
+
+// evalCommand expands the command's words and dispatches it.
+func (ip *Interp) evalCommand(cmd *Cmd) (string, *flow) {
+	if ip.opts.StepBudget > 0 {
+		ip.steps++
+		if ip.steps > ip.opts.StepBudget {
+			return "", &flow{kind: flowError, val: "step budget exhausted", err: ErrBudget}
+		}
+	}
+	words := make([]string, len(cmd.Words))
+	for i, w := range cmd.Words {
+		v, f := ip.expandWord(w)
+		if f != nil {
+			return "", f
+		}
+		words[i] = v
+	}
+	return ip.dispatch(words, cmd.Line)
+}
+
+func (ip *Interp) dispatch(words []string, line int) (string, *flow) {
+	name := words[0]
+	if proc, ok := ip.procs[name]; ok {
+		return ip.callProc(proc, words[1:])
+	}
+	_ = line // parse errors carry line numbers; runtime errors stay clean
+	if c, ok := ip.cmds[name]; ok {
+		return c.fn(ip, words[1:])
+	}
+	return "", errorFlow("invalid command name %q", name)
+}
+
+// expandWord concatenates a word's parts after substitution.
+func (ip *Interp) expandWord(w *Word) (string, *flow) {
+	if len(w.Parts) == 1 {
+		if lit, ok := w.Parts[0].(LitPart); ok {
+			return string(lit), nil
+		}
+	}
+	var sb strings.Builder
+	for _, part := range w.Parts {
+		switch p := part.(type) {
+		case LitPart:
+			sb.WriteString(string(p))
+		case VarPart:
+			v, ok := ip.lookupVar(string(p))
+			if !ok {
+				return "", errorFlow("can't read %q: no such variable", string(p))
+			}
+			sb.WriteString(v)
+		case CmdPart:
+			v, f := ip.evalScript(p.Script)
+			if f != nil {
+				if f.kind == flowReturn {
+					// return inside [] behaves like its value (Tcl nuance
+					// simplified: treat as value).
+					sb.WriteString(f.val)
+					continue
+				}
+				return "", f
+			}
+			sb.WriteString(v)
+		}
+	}
+	return sb.String(), nil
+}
+
+// callProc invokes a script procedure with the given argument values.
+func (ip *Interp) callProc(proc *Proc, args []string) (string, *flow) {
+	maxDepth := ip.opts.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = defaultMaxDepth
+	}
+	if ip.depth >= maxDepth {
+		return "", &flow{kind: flowError, val: "recursion depth exceeded", err: ErrDepth}
+	}
+	fr := newFrame()
+	if err := bindParams(fr, proc, args); err != nil {
+		return "", &flow{kind: flowError, val: err.Error()}
+	}
+	if proc.body == nil {
+		s, err := Parse(proc.Body)
+		if err != nil {
+			return "", errorFlow("in proc %q: %v", proc.Name, err)
+		}
+		proc.body = s
+	}
+	ip.stack = append(ip.stack, fr)
+	ip.depth++
+	v, f := ip.evalScript(proc.body)
+	ip.depth--
+	ip.stack = ip.stack[:len(ip.stack)-1]
+	if f != nil {
+		switch f.kind {
+		case flowReturn:
+			return f.val, nil
+		case flowBreak:
+			return "", errorFlow(`invoked "break" outside of a loop`)
+		case flowContinue:
+			return "", errorFlow(`invoked "continue" outside of a loop`)
+		default:
+			return "", f
+		}
+	}
+	return v, nil
+}
+
+func bindParams(fr *frame, proc *Proc, args []string) error {
+	i := 0
+	for pi, p := range proc.Params {
+		if p.variadic {
+			fr.vars[p.name] = FormatList(args[i:])
+			i = len(args)
+			// variadic must be last by construction
+			_ = pi
+			break
+		}
+		if i < len(args) {
+			fr.vars[p.name] = args[i]
+			i++
+		} else if p.hasDef {
+			fr.vars[p.name] = p.def
+		} else {
+			return fmt.Errorf("wrong # args: should be %q", procUsage(proc))
+		}
+	}
+	if i < len(args) {
+		return fmt.Errorf("wrong # args: should be %q", procUsage(proc))
+	}
+	return nil
+}
+
+func procUsage(proc *Proc) string {
+	parts := []string{proc.Name}
+	for _, p := range proc.Params {
+		switch {
+		case p.variadic:
+			parts = append(parts, "?arg ...?")
+		case p.hasDef:
+			parts = append(parts, "?"+p.name+"?")
+		default:
+			parts = append(parts, p.name)
+		}
+	}
+	return strings.Join(parts, " ")
+}

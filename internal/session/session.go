@@ -1,0 +1,182 @@
+// Package session implements Bayou-style session guarantees over Rover's
+// weakly-consistent object cache.
+//
+// "Rover borrows the notions of tentative data, session guarantees, and
+// the calendar tool example from the Bayou project." A session is one
+// application's view of the object space; its guarantees constrain which
+// object versions the access manager may show it:
+//
+//   - Read Your Writes: a read must reflect every write this session
+//     already performed on the object.
+//   - Monotonic Reads: successive reads never go backwards in version.
+//   - Writes Follow Reads: a write is ordered after the reads it depends
+//     on. With Rover's single home server per object and per-client FIFO
+//     QRPC delivery, this holds structurally for same-object dependencies;
+//     the session records read dependencies so exports can assert it.
+//   - Monotonic Writes: this session's writes to an object commit in
+//     order. Also structural under FIFO delivery; CheckWrite verifies it.
+//
+// Guarantee violations are how the access manager decides a cached copy is
+// too stale to serve: a violated CheckRead forces revalidation at the home
+// server instead of silently handing the application old data.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"rover/internal/urn"
+)
+
+// Guarantee is a bitmask of session guarantees.
+type Guarantee uint8
+
+// The four Bayou guarantees.
+const (
+	ReadYourWrites Guarantee = 1 << iota
+	MonotonicReads
+	WritesFollowReads
+	MonotonicWrites
+
+	// All enables every guarantee.
+	All = ReadYourWrites | MonotonicReads | WritesFollowReads | MonotonicWrites
+	// None disables session checking entirely.
+	None Guarantee = 0
+)
+
+// String names the enabled guarantees.
+func (g Guarantee) String() string {
+	if g == None {
+		return "none"
+	}
+	names := ""
+	add := func(bit Guarantee, n string) {
+		if g&bit != 0 {
+			if names != "" {
+				names += "+"
+			}
+			names += n
+		}
+	}
+	add(ReadYourWrites, "RYW")
+	add(MonotonicReads, "MR")
+	add(WritesFollowReads, "WFR")
+	add(MonotonicWrites, "MW")
+	return names
+}
+
+// GuaranteeError reports a violated guarantee: the offered version is too
+// old for this session.
+type GuaranteeError struct {
+	Guarantee Guarantee
+	URN       urn.URN
+	Need      uint64 // minimum acceptable version
+	Got       uint64
+}
+
+func (e *GuaranteeError) Error() string {
+	return fmt.Sprintf("session: %v violated for %s: need version >= %d, offered %d",
+		e.Guarantee, e.URN, e.Need, e.Got)
+}
+
+// Session tracks one application session's read and write history.
+type Session struct {
+	mu       sync.Mutex
+	g        Guarantee
+	readVec  map[urn.URN]uint64
+	writeVec map[urn.URN]uint64
+}
+
+// New builds a session with the given guarantees.
+func New(g Guarantee) *Session {
+	return &Session{
+		g:        g,
+		readVec:  make(map[urn.URN]uint64),
+		writeVec: make(map[urn.URN]uint64),
+	}
+}
+
+// Guarantees returns the enabled set.
+func (s *Session) Guarantees() Guarantee {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g
+}
+
+// CheckRead reports whether showing the session an object at `version` is
+// permissible. A nil error means yes; a *GuaranteeError identifies the
+// minimum version the cache must obtain first.
+func (s *Session) CheckRead(u urn.URN, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.g&ReadYourWrites != 0 {
+		if w := s.writeVec[u]; version < w {
+			return &GuaranteeError{Guarantee: ReadYourWrites, URN: u, Need: w, Got: version}
+		}
+	}
+	if s.g&MonotonicReads != 0 {
+		if r := s.readVec[u]; version < r {
+			return &GuaranteeError{Guarantee: MonotonicReads, URN: u, Need: r, Got: version}
+		}
+	}
+	return nil
+}
+
+// RecordRead notes that the session observed the object at `version`.
+func (s *Session) RecordRead(u urn.URN, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version > s.readVec[u] {
+		s.readVec[u] = version
+	}
+}
+
+// CheckWrite verifies monotonic-writes when the server reports a commit:
+// the committed version must exceed every version this session previously
+// wrote to the object.
+func (s *Session) CheckWrite(u urn.URN, committedVersion uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.g&MonotonicWrites != 0 {
+		if w := s.writeVec[u]; committedVersion <= w {
+			return &GuaranteeError{Guarantee: MonotonicWrites, URN: u, Need: w + 1, Got: committedVersion}
+		}
+	}
+	return nil
+}
+
+// RecordWrite notes a committed write at `version`. Under RYW the write
+// also counts as an observation.
+func (s *Session) RecordWrite(u urn.URN, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version > s.writeVec[u] {
+		s.writeVec[u] = version
+	}
+	if version > s.readVec[u] {
+		s.readVec[u] = version
+	}
+}
+
+// ReadDependency returns the version this session last read for u — the
+// writes-follow-reads dependency an export should carry. Zero means no
+// recorded read.
+func (s *Session) ReadDependency(u urn.URN) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readVec[u]
+}
+
+// MinAcceptableRead returns the lowest version CheckRead would accept.
+func (s *Session) MinAcceptableRead(u urn.URN) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min uint64
+	if s.g&ReadYourWrites != 0 && s.writeVec[u] > min {
+		min = s.writeVec[u]
+	}
+	if s.g&MonotonicReads != 0 && s.readVec[u] > min {
+		min = s.readVec[u]
+	}
+	return min
+}

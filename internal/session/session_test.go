@@ -1,0 +1,161 @@
+package session
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rover/internal/urn"
+)
+
+var u1 = urn.MustParse("urn:rover:h/a")
+var u2 = urn.MustParse("urn:rover:h/b")
+
+func TestReadYourWrites(t *testing.T) {
+	s := New(ReadYourWrites)
+	s.RecordWrite(u1, 5)
+	if err := s.CheckRead(u1, 4); err == nil {
+		t.Fatal("stale read allowed after write")
+	} else {
+		var ge *GuaranteeError
+		if !errors.As(err, &ge) || ge.Guarantee != ReadYourWrites || ge.Need != 5 {
+			t.Errorf("error detail: %v", err)
+		}
+	}
+	if err := s.CheckRead(u1, 5); err != nil {
+		t.Errorf("exact version refused: %v", err)
+	}
+	if err := s.CheckRead(u1, 9); err != nil {
+		t.Errorf("newer version refused: %v", err)
+	}
+	// Other objects unaffected.
+	if err := s.CheckRead(u2, 0); err != nil {
+		t.Errorf("unrelated object: %v", err)
+	}
+}
+
+func TestMonotonicReads(t *testing.T) {
+	s := New(MonotonicReads)
+	s.RecordRead(u1, 7)
+	if err := s.CheckRead(u1, 6); err == nil {
+		t.Fatal("read went backwards")
+	}
+	if err := s.CheckRead(u1, 7); err != nil {
+		t.Errorf("same version refused: %v", err)
+	}
+	// Without the guarantee, stale reads pass.
+	s2 := New(None)
+	s2.RecordRead(u1, 7)
+	if err := s2.CheckRead(u1, 1); err != nil {
+		t.Errorf("None guarantee still failed: %v", err)
+	}
+}
+
+func TestMonotonicWrites(t *testing.T) {
+	s := New(MonotonicWrites)
+	s.RecordWrite(u1, 3)
+	if err := s.CheckWrite(u1, 3); err == nil {
+		t.Fatal("non-advancing write allowed")
+	}
+	if err := s.CheckWrite(u1, 4); err != nil {
+		t.Errorf("advancing write refused: %v", err)
+	}
+}
+
+func TestWriteCountsAsRead(t *testing.T) {
+	s := New(All)
+	s.RecordWrite(u1, 5)
+	// Monotonic reads must also respect the write's visibility.
+	if err := s.CheckRead(u1, 4); err == nil {
+		t.Fatal("read below own write allowed under All")
+	}
+}
+
+func TestReadDependencyAndMin(t *testing.T) {
+	s := New(All)
+	if s.ReadDependency(u1) != 0 {
+		t.Error("fresh session has a read dependency")
+	}
+	s.RecordRead(u1, 4)
+	if s.ReadDependency(u1) != 4 {
+		t.Errorf("ReadDependency = %d", s.ReadDependency(u1))
+	}
+	s.RecordWrite(u1, 9)
+	if got := s.MinAcceptableRead(u1); got != 9 {
+		t.Errorf("MinAcceptableRead = %d", got)
+	}
+	s2 := New(None)
+	s2.RecordWrite(u1, 9)
+	if got := s2.MinAcceptableRead(u1); got != 0 {
+		t.Errorf("MinAcceptableRead under None = %d", got)
+	}
+}
+
+func TestGuaranteeString(t *testing.T) {
+	if All.String() != "RYW+MR+WFR+MW" {
+		t.Errorf("All = %q", All.String())
+	}
+	if None.String() != "none" {
+		t.Errorf("None = %q", None.String())
+	}
+	if (ReadYourWrites | MonotonicWrites).String() != "RYW+MW" {
+		t.Errorf("combo = %q", (ReadYourWrites | MonotonicWrites).String())
+	}
+}
+
+// Property: after any sequence of recorded reads/writes, CheckRead accepts
+// exactly versions >= MinAcceptableRead, and acceptance is monotone in the
+// version.
+func TestQuickCheckReadMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New(All)
+		for i := 0; i < 50; i++ {
+			v := uint64(r.Intn(100))
+			if r.Intn(2) == 0 {
+				s.RecordRead(u1, v)
+			} else {
+				s.RecordWrite(u1, v)
+			}
+		}
+		min := s.MinAcceptableRead(u1)
+		for v := uint64(0); v < 110; v++ {
+			err := s.CheckRead(u1, v)
+			if (err == nil) != (v >= min) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a session that reads exactly what it writes never sees a
+// violation (the access manager's normal committed-path flow).
+func TestQuickSelfConsistentFlow(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := New(All)
+		version := uint64(0)
+		for _, isWrite := range ops {
+			if isWrite {
+				version++
+				if err := s.CheckWrite(u1, version); err != nil {
+					return false
+				}
+				s.RecordWrite(u1, version)
+			} else {
+				if err := s.CheckRead(u1, version); err != nil {
+					return false
+				}
+				s.RecordRead(u1, version)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package store is the Rover server's authoritative object store.
+//
+// Every object has a home server; the store holds the committed copy and
+// its version. Versions advance by one per committed export or server-side
+// invocation; the version a client imported is what conflict detection
+// compares against. The store also keeps the manual-repair queue — the
+// destination of operations no resolver could merge — mirroring the
+// paper's Coda/Ficus discussion of conflicts "reflected to the user for
+// resolution".
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"rover/internal/rdo"
+	"rover/internal/urn"
+	"rover/internal/wire"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("store: no such object")
+	ErrExists   = errors.New("store: object already exists")
+)
+
+// Store holds the committed objects of one server. All methods are safe
+// for concurrent use; returned objects are clones, so callers can mutate
+// freely.
+type Store struct {
+	mu       sync.RWMutex
+	objs     map[urn.URN]*rdo.Object
+	repairs  []Conflict
+	modCount uint64
+}
+
+// Conflict is a repair-queue entry: operations that could not be merged.
+type Conflict struct {
+	URN      urn.URN
+	ClientID string
+	BaseVer  uint64
+	AtVer    uint64
+	Invs     []rdo.Invocation
+	Message  string
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objs: make(map[urn.URN]*rdo.Object)}
+}
+
+// Create inserts a new object at version 1. The object's Version field is
+// overwritten.
+func (s *Store) Create(obj *rdo.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[obj.URN]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, obj.URN)
+	}
+	cp := obj.Clone()
+	cp.Version = 1
+	s.objs[obj.URN] = cp
+	s.modCount++
+	return nil
+}
+
+// Get returns a clone of the object.
+func (s *Store) Get(u urn.URN) (*rdo.Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objs[u]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, u)
+	}
+	return obj.Clone(), nil
+}
+
+// Version returns the current version without copying the object.
+func (s *Store) Version(u urn.URN) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objs[u]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, u)
+	}
+	return obj.Version, nil
+}
+
+// Commit replaces the object's state with the mutated clone, advancing the
+// version by one, and returns the new version. The caller must pass the
+// version it read (expect) — Commit fails if the object moved meanwhile,
+// making read-modify-write sequences safe without holding the store lock
+// across RDO method execution.
+func (s *Store) Commit(obj *rdo.Object, expect uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.objs[obj.URN]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, obj.URN)
+	}
+	if cur.Version != expect {
+		return 0, fmt.Errorf("store: commit race on %s: store at %d, caller read %d",
+			obj.URN, cur.Version, expect)
+	}
+	cp := obj.Clone()
+	cp.Version = cur.Version + 1
+	s.objs[obj.URN] = cp
+	s.modCount++
+	return cp.Version, nil
+}
+
+// Delete removes an object.
+func (s *Store) Delete(u urn.URN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[u]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, u)
+	}
+	delete(s.objs, u)
+	s.modCount++
+	return nil
+}
+
+// Entry describes one object in a listing.
+type Entry struct {
+	URN     urn.URN
+	Version uint64
+	Type    string
+}
+
+// List returns entries for every object at or under prefix, sorted by URN.
+func (s *Store) List(prefix urn.URN) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for u, obj := range s.objs {
+		if u.HasPrefix(prefix) {
+			out = append(out, Entry{URN: u, Version: obj.Version, Type: obj.Type})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URN.Less(out[j].URN) })
+	return out
+}
+
+// ListAll returns entries for every object, sorted by URN (server
+// administration and the HTTP gateway's index; the protocol operation is
+// the prefix-scoped List).
+func (s *Store) ListAll() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry, 0, len(s.objs))
+	for u, obj := range s.objs {
+		out = append(out, Entry{URN: u, Version: obj.Version, Type: obj.Type})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URN.Less(out[j].URN) })
+	return out
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objs)
+}
+
+// AddConflict appends to the manual-repair queue.
+func (s *Store) AddConflict(c Conflict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.repairs = append(s.repairs, c)
+}
+
+// Conflicts returns a copy of the repair queue.
+func (s *Store) Conflicts() []Conflict {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Conflict, len(s.repairs))
+	copy(out, s.repairs)
+	return out
+}
+
+// ClearConflicts empties the repair queue (after manual repair) and
+// returns how many entries were dropped.
+func (s *Store) ClearConflicts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.repairs)
+	s.repairs = nil
+	return n
+}
+
+// Snapshot format: uvarint count, then each object's wire encoding as a
+// length-prefixed blob.
+
+// Save writes a point-in-time snapshot of all objects to path. The write
+// is atomic (temp file + rename).
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	var b wire.Buffer
+	b.PutUvarint(uint64(len(s.objs)))
+	urns := make([]urn.URN, 0, len(s.objs))
+	for u := range s.objs {
+		urns = append(urns, u)
+	}
+	sort.Slice(urns, func(i, j int) bool { return urns[i].Less(urns[j]) })
+	for _, u := range urns {
+		b.PutBytes(s.objs[u].Encode())
+	}
+	s.mu.RUnlock()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b.Bytes(), 0o600); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save rename: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store's contents from a snapshot file.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: load: %w", err)
+	}
+	r := wire.NewReader(data)
+	n := r.Len()
+	objs := make(map[urn.URN]*rdo.Object, n)
+	for i := 0; i < n; i++ {
+		blob := r.Bytes()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("store: load: %w", err)
+		}
+		obj, err := rdo.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("store: load object %d: %w", i, err)
+		}
+		objs[obj.URN] = obj
+	}
+	if !r.Done() {
+		return fmt.Errorf("store: load: trailing bytes")
+	}
+	s.mu.Lock()
+	s.objs = objs
+	s.modCount++
+	s.mu.Unlock()
+	return nil
+}

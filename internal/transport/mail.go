@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"rover/internal/qrpc"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// The mail transport models Rover's SMTP transport: "SMTP allows Rover to
+// exploit E-mail for queued communication." Frames are batched into
+// envelopes, posted to a spool (the mail system), and fetched by the peer
+// whenever it likes — no connection, arbitrary latency, and natural
+// batching. The paper's DEC SRC citation (factoring by electronic mail)
+// and Active Message Processing both used the same idea.
+//
+// The spool is in-process; a real deployment would put SMTP servers
+// between the two ends, which changes only the delivery delay — exactly
+// the parameter Spool models.
+
+// EnvelopeOverheadBytes approximates the SMTP/RFC-822 framing cost per
+// envelope (headers, MIME wrapping). The A-BATCH ablation measures its
+// amortization.
+const EnvelopeOverheadBytes = 350
+
+// Envelope is one piece of queued mail: a batch of frames.
+type Envelope struct {
+	From    string
+	To      string
+	Frames  []wire.Frame
+	ReadyAt vtime.Time // visible to Fetch from this time on
+	Bytes   int        // on-the-wire size including overhead
+}
+
+// SpoolStats counts spool traffic.
+type SpoolStats struct {
+	Envelopes int64
+	Frames    int64
+	Bytes     int64
+}
+
+// Spool is the store-and-forward mail system joining mail endpoints.
+type Spool struct {
+	mu    sync.Mutex
+	delay time.Duration
+	boxes map[string][]*Envelope
+	stats SpoolStats
+}
+
+// NewSpool builds a spool with the given relay delay (how long mail takes
+// end to end).
+func NewSpool(delay time.Duration) *Spool {
+	return &Spool{delay: delay, boxes: make(map[string][]*Envelope)}
+}
+
+// Post mails an envelope; it becomes fetchable after the relay delay.
+func (sp *Spool) Post(env *Envelope, now vtime.Time) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	env.ReadyAt = now.Add(sp.delay)
+	env.Bytes = EnvelopeOverheadBytes
+	for _, f := range env.Frames {
+		env.Bytes += wire.EncodedFrameSize(len(f.Payload))
+	}
+	sp.boxes[env.To] = append(sp.boxes[env.To], env)
+	sp.stats.Envelopes++
+	sp.stats.Frames += int64(len(env.Frames))
+	sp.stats.Bytes += int64(env.Bytes)
+}
+
+// Fetch removes and returns the envelopes deliverable to addr at `now`.
+func (sp *Spool) Fetch(addr string, now vtime.Time) []*Envelope {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	box := sp.boxes[addr]
+	var ready, rest []*Envelope
+	for _, env := range box {
+		if env.ReadyAt <= now {
+			ready = append(ready, env)
+		} else {
+			rest = append(rest, env)
+		}
+	}
+	sp.boxes[addr] = rest
+	return ready
+}
+
+// Pending returns how many envelopes await addr (ready or in transit).
+func (sp *Spool) Pending(addr string) int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.boxes[addr])
+}
+
+// Stats returns a traffic snapshot.
+func (sp *Spool) Stats() SpoolStats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.stats
+}
+
+// captureSender collects an engine's output frames into a slice.
+type captureSender struct {
+	frames []wire.Frame
+}
+
+// SendFrame implements qrpc.Sender.
+func (s *captureSender) SendFrame(f wire.Frame) bool {
+	s.frames = append(s.frames, f)
+	return true
+}
+
+// MailClient drives a client engine over a spool.
+type MailClient struct {
+	spool      *Spool
+	addr       string
+	serverAddr string
+	client     *qrpc.Client
+	clock      vtime.Clock
+	// MaxFramesPerEnvelope below 1 means unlimited (one envelope per
+	// flush); the A-BATCH ablation sets it to 1 to model per-request mail.
+	MaxFramesPerEnvelope int
+}
+
+// NewMailClient binds a client engine to spool mailboxes. A nil clock
+// selects real time.
+func NewMailClient(spool *Spool, addr, serverAddr string, client *qrpc.Client, clock vtime.Clock) *MailClient {
+	return &MailClient{spool: spool, addr: addr, serverAddr: serverAddr, client: client, clock: clockOrDefault(clock)}
+}
+
+// Flush mails every outstanding request (and pending acks). Each call is
+// one "send mail now" decision — the caller owns the retry schedule, like
+// a mail queue runner. Every envelope begins with a Hello so the server
+// can process it standalone.
+func (m *MailClient) Flush(now vtime.Time) int {
+	sink := &captureSender{}
+	// A connect/pump/disconnect cycle against a capturing sender drains
+	// the engine's queue into the envelope without real connectivity.
+	m.client.OnConnect(sink, now)
+	m.client.Pump(now)
+	m.client.OnDisconnect(now)
+	if len(sink.frames) <= 1 { // only the Hello: nothing to say
+		return 0
+	}
+	hello := sink.frames[0]
+	body := sink.frames[1:]
+	chunk := m.MaxFramesPerEnvelope
+	if chunk < 1 {
+		chunk = len(body)
+	}
+	sent := 0
+	for start := 0; start < len(body); start += chunk {
+		end := start + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		frames := append([]wire.Frame{hello}, body[start:end]...)
+		m.spool.Post(&Envelope{From: m.addr, To: m.serverAddr, Frames: frames}, now)
+		sent++
+	}
+	return sent
+}
+
+// Poll fetches and processes arrived mail (replies, callbacks).
+func (m *MailClient) Poll(now vtime.Time) int {
+	envs := m.spool.Fetch(m.addr, now)
+	for _, env := range envs {
+		for _, f := range env.Frames {
+			m.client.OnFrame(f, now)
+		}
+	}
+	return len(envs)
+}
+
+// Kick implements ClientTransport: for mail, a kick is a flush.
+func (m *MailClient) Kick() { m.Flush(m.clock.Now()) }
+
+// Connected implements ClientTransport: mail is never "connected".
+func (m *MailClient) Connected() bool { return false }
+
+// Close implements ClientTransport.
+func (m *MailClient) Close() error { return nil }
+
+// MailServer drives a server engine over a spool.
+type MailServer struct {
+	spool *Spool
+	addr  string
+	srv   *qrpc.Server
+}
+
+// NewMailServer binds a server engine to a spool mailbox.
+func NewMailServer(spool *Spool, addr string, srv *qrpc.Server) *MailServer {
+	return &MailServer{spool: spool, addr: addr, srv: srv}
+}
+
+// Poll fetches arrived envelopes, executes their requests, and mails the
+// replies back. Each envelope is processed as an independent mini-session.
+func (ms *MailServer) Poll(now vtime.Time) int {
+	envs := ms.spool.Fetch(ms.addr, now)
+	for _, env := range envs {
+		sink := &captureSender{}
+		ms.srv.OnConnect(sink, now)
+		for _, f := range env.Frames {
+			ms.srv.OnFrame(sink, f, now)
+		}
+		ms.srv.OnDisconnect(sink, now)
+		// Drop the Welcome (mail clients don't need handshakes); mail back
+		// anything substantive.
+		var out []wire.Frame
+		for _, f := range sink.frames {
+			if f.Type != wire.FrameWelcome {
+				out = append(out, f)
+			}
+		}
+		if len(out) > 0 {
+			ms.spool.Post(&Envelope{From: ms.addr, To: env.From, Frames: out}, now)
+		}
+	}
+	return len(envs)
+}

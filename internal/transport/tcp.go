@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"rover/internal/qrpc"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// TCPServer accepts Rover clients on a TCP listener and pumps their frames
+// into a server engine. This is the connection-based transport of the
+// paper ("Messages can be sent over both connection-based protocols (e.g.,
+// TCP/IP) and connectionless protocols").
+type TCPServer struct {
+	ln     net.Listener
+	srv    *qrpc.Server
+	clock  vtime.Clock
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// ListenTCP starts serving the engine on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string, srv *qrpc.Server, clock vtime.Clock) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPServer{ln: ln, srv: srv, clock: clockOrDefault(clock), conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	sender := &tcpSender{conn: conn}
+	t.srv.OnConnect(sender, t.clock.Now())
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		f, err := wire.ReadFrame(r)
+		if err != nil {
+			break
+		}
+		t.srv.OnFrame(sender, f, t.clock.Now())
+	}
+	t.srv.OnDisconnect(sender, t.clock.Now())
+	conn.Close()
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+// Close stops accepting and tears down live connections.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+// tcpSender serializes frame writes onto one socket.
+type tcpSender struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dead bool
+}
+
+// SendFrame implements qrpc.Sender.
+func (s *tcpSender) SendFrame(f wire.Frame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return false
+	}
+	if _, err := s.conn.Write(wire.EncodeFrame(f)); err != nil {
+		s.dead = true
+		return false
+	}
+	return true
+}
+
+// TCPClient maintains a client engine's connection to a TCP server,
+// reconnecting with backoff after failures — the roving host's view of an
+// intermittently reachable network.
+type TCPClient struct {
+	addr    string
+	client  *qrpc.Client
+	clock   vtime.Clock
+	backoff time.Duration
+	maxBack time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	sender *tcpSender
+	closed bool
+	wg     sync.WaitGroup
+	wake   chan struct{}
+}
+
+// TCPClientOptions tune reconnection behavior.
+type TCPClientOptions struct {
+	// InitialBackoff is the first retry delay (default 50ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential retry delay (default 5s).
+	MaxBackoff time.Duration
+}
+
+// DialTCP starts maintaining a connection from the client engine to addr.
+// It returns immediately; connection happens in the background (the whole
+// point of QRPC is that the application need not wait).
+func DialTCP(addr string, client *qrpc.Client, clock vtime.Clock, opts TCPClientOptions) *TCPClient {
+	if opts.InitialBackoff <= 0 {
+		opts.InitialBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	t := &TCPClient{
+		addr:    addr,
+		client:  client,
+		clock:   clockOrDefault(clock),
+		backoff: opts.InitialBackoff,
+		maxBack: opts.MaxBackoff,
+		wake:    make(chan struct{}, 1),
+	}
+	t.wg.Add(1)
+	go t.loop(opts.InitialBackoff)
+	return t
+}
+
+func (t *TCPClient) loop(initialBackoff time.Duration) {
+	defer t.wg.Done()
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		t.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", t.addr, 5*time.Second)
+		if err != nil {
+			t.sleep()
+			t.mu.Lock()
+			if t.backoff *= 2; t.backoff > t.maxBack {
+				t.backoff = t.maxBack
+			}
+			t.mu.Unlock()
+			continue
+		}
+		sender := &tcpSender{conn: conn}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conn = conn
+		t.sender = sender
+		t.backoff = initialBackoff
+		t.mu.Unlock()
+
+		t.client.OnConnect(sender, t.clock.Now())
+		r := bufio.NewReaderSize(conn, 64<<10)
+		for {
+			f, err := wire.ReadFrame(r)
+			if err != nil {
+				break
+			}
+			t.client.OnFrame(f, t.clock.Now())
+		}
+		t.client.OnDisconnect(t.clock.Now())
+		conn.Close()
+		t.mu.Lock()
+		t.conn = nil
+		t.sender = nil
+		t.mu.Unlock()
+	}
+}
+
+// sleep waits for the backoff period or an early wake/close.
+func (t *TCPClient) sleep() {
+	t.mu.Lock()
+	d := t.backoff
+	t.mu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-t.wake:
+	}
+}
+
+// Kick implements ClientTransport.
+func (t *TCPClient) Kick() {
+	t.client.Pump(t.clock.Now())
+	// Also nudge a sleeping reconnect loop.
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Connected implements ClientTransport.
+func (t *TCPClient) Connected() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.conn != nil
+}
+
+// Close implements ClientTransport.
+func (t *TCPClient) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conn := t.conn
+	t.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")

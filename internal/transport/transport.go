@@ -1,0 +1,45 @@
+// Package transport connects the sans-io QRPC engines to actual
+// communication channels.
+//
+// "The Rover toolkit supports several transport protocols (e.g., HTTP and
+// SMTP) over various communication media (e.g., Ethernet, WaveLAN, and
+// phone lines)." This package provides four:
+//
+//   - Pipe: an in-process, real-time channel pair. Unit tests, examples,
+//     and single-machine demos.
+//   - Sim: a link simulated by internal/netsim under virtual time. All
+//     bandwidth/latency experiments run here.
+//   - TCP: real sockets with automatic reconnection — the
+//     connection-based transport of the paper.
+//   - Mail: a store-and-forward batch transport modeled on SMTP — the
+//     connectionless transport ("SMTP allows Rover to exploit E-mail for
+//     queued communication").
+//
+// Every adapter drives the same engine entry points (OnConnect, OnFrame,
+// OnDisconnect, Pump), so protocol behavior is identical across media.
+package transport
+
+import (
+	"rover/internal/vtime"
+)
+
+// ClientTransport is the client-side handle shared by all adapters.
+type ClientTransport interface {
+	// Kick prompts the transport to transmit newly-enqueued requests. Call
+	// it after qrpc.Client.Enqueue. (Transports with an event source of
+	// their own — TCP write pumps, the simulator — still need this hint
+	// for requests enqueued outside their event flow.)
+	Kick()
+	// Connected reports current link state.
+	Connected() bool
+	// Close shuts the transport down.
+	Close() error
+}
+
+// clockOrDefault returns a real clock when c is nil.
+func clockOrDefault(c vtime.Clock) vtime.Clock {
+	if c == nil {
+		return vtime.NewRealClock()
+	}
+	return c
+}

@@ -1,0 +1,212 @@
+package urn
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in        string
+		authority string
+		path      string
+	}{
+		{"urn:rover:lcs.mit.edu/mail/inbox", "lcs.mit.edu", "mail/inbox"},
+		{"urn:rover:a/b", "a", "b"},
+		{"urn:rover:host-1/cal/1995/12/07", "host-1", "cal/1995/12/07"},
+		{"urn:rover:www/doc.html", "www", "doc.html"},
+		{"urn:rover:u@example/folder_x/msg+1=2~3", "u@example", "folder_x/msg+1=2~3"},
+	}
+	for _, c := range cases {
+		u, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if u.Authority != c.authority || u.Path != c.path {
+			t.Errorf("Parse(%q) = %+v", c.in, u)
+		}
+		if u.String() != c.in {
+			t.Errorf("String round trip: %q -> %q", c.in, u.String())
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr error
+	}{
+		{"http://example.com/x", ErrBadPrefix},
+		{"urn:rover:", ErrNoPath},
+		{"urn:rover:hostonly", ErrNoPath},
+		{"urn:rover:/path", ErrNoAuthority},
+		{"urn:rover:host/", ErrNoPath},
+		{"urn:rover:host/a//b", ErrBadCharacter},
+		{"urn:rover:host/a/", ErrBadCharacter},
+		{"urn:rover:host/sp ace", ErrBadCharacter},
+		{"urn:rover:ho st/x", ErrBadCharacter},
+		{"urn:rover:host/π", ErrBadCharacter},
+		{"urn:rover:" + strings.Repeat("a", MaxLen) + "/x", ErrTooLong},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %v", c.in, c.wantErr)
+			continue
+		}
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("", "x"); !errors.Is(err, ErrNoAuthority) {
+		t.Errorf("New with empty authority: %v", err)
+	}
+	if _, err := New("h", "a b"); !errors.Is(err, ErrBadCharacter) {
+		t.Errorf("New with space: %v", err)
+	}
+	u, err := New("h", "p/q")
+	if err != nil || u.String() != "urn:rover:h/p/q" {
+		t.Errorf("New(h, p/q) = %v, %v", u, err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("not a urn")
+}
+
+func TestChildAndDir(t *testing.T) {
+	folder := MustParse("urn:rover:mail.mit.edu/inbox")
+	msg, err := folder.Child("msg-42")
+	if err != nil {
+		t.Fatalf("Child: %v", err)
+	}
+	if msg.String() != "urn:rover:mail.mit.edu/inbox/msg-42" {
+		t.Errorf("Child = %v", msg)
+	}
+	parent, ok := msg.Dir()
+	if !ok || parent != folder {
+		t.Errorf("Dir = %v, %v", parent, ok)
+	}
+	if _, ok := folder.Dir(); ok {
+		t.Error("Dir of single-element path should report false")
+	}
+	if _, err := folder.Child("bad elem"); err == nil {
+		t.Error("Child with invalid element should fail")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	base := MustParse("urn:rover:h/cal")
+	cases := []struct {
+		u    string
+		want bool
+	}{
+		{"urn:rover:h/cal", true},
+		{"urn:rover:h/cal/1995", true},
+		{"urn:rover:h/calendar", false},
+		{"urn:rover:other/cal/1995", false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.u).HasPrefix(base); got != c.want {
+			t.Errorf("HasPrefix(%q, %q) = %v, want %v", c.u, base, got, c.want)
+		}
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	us := []URN{
+		MustParse("urn:rover:b/x"),
+		MustParse("urn:rover:a/z"),
+		MustParse("urn:rover:a/y/1"),
+		MustParse("urn:rover:a/y"),
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i].Less(us[j]) })
+	want := []string{
+		"urn:rover:a/y", "urn:rover:a/y/1", "urn:rover:a/z", "urn:rover:b/x",
+	}
+	for i, w := range want {
+		if us[i].String() != w {
+			t.Errorf("sorted[%d] = %v, want %v", i, us[i], w)
+		}
+	}
+	if MustParse("urn:rover:a/y").Compare(MustParse("urn:rover:a/y")) != 0 {
+		t.Error("Compare equal != 0")
+	}
+	if MustParse("urn:rover:a/y").Compare(MustParse("urn:rover:b/a")) != -1 {
+		t.Error("Compare less != -1")
+	}
+	if MustParse("urn:rover:b/a").Compare(MustParse("urn:rover:a/y")) != 1 {
+		t.Error("Compare greater != 1")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var u URN
+	if !u.IsZero() {
+		t.Error("zero URN should report IsZero")
+	}
+	if MustParse("urn:rover:a/b").IsZero() {
+		t.Error("non-zero URN reported IsZero")
+	}
+}
+
+// genComponent builds a random valid component for property tests.
+func genComponent(r *rand.Rand, allowSlash bool) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-._~@+=:"
+	n := 1 + r.Intn(20)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if allowSlash && i > 0 && i < n-1 && sb.String()[sb.Len()-1] != '/' && r.Intn(6) == 0 {
+			sb.WriteByte('/')
+			continue
+		}
+		sb.WriteByte(alpha[r.Intn(len(alpha))])
+	}
+	return sb.String()
+}
+
+// Property: String and Parse are inverse on valid URNs.
+func TestQuickParseInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := URN{
+			Authority: genComponent(r, false),
+			Path:      genComponent(r, true),
+		}
+		if u.Validate() != nil {
+			return true // generator produced an edge we don't assert on
+		}
+		got, err := Parse(u.String())
+		return err == nil && got == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse never panics and never returns an invalid URN.
+func TestQuickParseTotal(t *testing.T) {
+	f := func(s string) bool {
+		u, err := Parse(s)
+		if err != nil {
+			return true
+		}
+		return u.Validate() == nil && u.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	if n, drained := s.Run(100); n != 3 || !drained {
+		t.Fatalf("Run = %d, %v", n, drained)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Errorf("final time %v, want 30", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.At(10, func() {
+		fired = append(fired, s.Now())
+		s.After(5*time.Nanosecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.At(10, func() { ran = true })
+	e.Cancel()
+	e.Cancel() // idempotent
+	s.Run(100)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {})
+	s.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {
+		s.After(-time.Second, func() {}) // must not panic
+	})
+	s.Run(10)
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.RunUntil(12)
+	if len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Errorf("after RunUntil(12): %v", got)
+	}
+	if s.Now() != 12 {
+		t.Errorf("Now = %v, want 12", s.Now())
+	}
+	s.RunFor(3 * time.Nanosecond) // to 15
+	if len(got) != 3 || s.Now() != 15 {
+		t.Errorf("after RunFor(3): got=%v now=%v", got, s.Now())
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	s := NewScheduler()
+	var rearm func()
+	rearm = func() { s.After(1, rearm) }
+	s.After(1, rearm)
+	n, drained := s.Run(50)
+	if drained || n != 50 {
+		t.Errorf("Run = %d, %v; want 50, false", n, drained)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextEventAt(); ok {
+		t.Error("empty scheduler reported a next event")
+	}
+	e := s.At(7, func() {})
+	if at, ok := s.NextEventAt(); !ok || at != 7 {
+		t.Errorf("NextEventAt = %v, %v", at, ok)
+	}
+	e.Cancel()
+	if _, ok := s.NextEventAt(); ok {
+		t.Error("cancelled event still reported")
+	}
+}
+
+func TestClocks(t *testing.T) {
+	s := NewScheduler()
+	c := SchedulerClock{S: s}
+	s.At(42, func() {
+		if c.Now() != 42 {
+			t.Errorf("SchedulerClock.Now = %v", c.Now())
+		}
+	})
+	s.Run(10)
+
+	rc := NewRealClock()
+	a := rc.Now()
+	b := rc.Now()
+	if b < a {
+		t.Error("real clock went backwards")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50 * time.Nanosecond)
+	if t1 != 150 {
+		t.Errorf("Add = %v", t1)
+	}
+	if t1.Sub(t0) != 50*time.Nanosecond {
+		t.Errorf("Sub = %v", t1.Sub(t0))
+	}
+	if Time(time.Second).String() != "1s" {
+		t.Errorf("String = %q", Time(time.Second).String())
+	}
+}
+
+// Property: N randomly-timed events execute in nondecreasing time order and
+// the clock never goes backwards.
+func TestQuickOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		n := 1 + r.Intn(100)
+		times := make([]Time, n)
+		var got []Time
+		for i := range times {
+			at := Time(r.Intn(1000))
+			times[i] = at
+			s.At(at, func() { got = append(got, s.Now()) })
+		}
+		s.Run(uint64(n) + 1)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// A Frame is the unit of exchange between Rover transports. Each frame
+// carries a type tag (interpreted by the QRPC layer) and an opaque payload.
+//
+// On byte-stream transports frames are delimited as:
+//
+//	magic[2] version[1] type[1] length[uvarint] payload[length] crc32[4]
+//
+// The CRC covers type and payload and catches corruption on unreliable
+// media (the paper's dial-up links); corrupt frames are dropped, and QRPC's
+// redelivery machinery recovers them.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// Frame type tags. The QRPC protocol messages are defined in
+// internal/qrpc; the tags live here so transports can log them.
+const (
+	FrameHello      byte = 1 // client -> server session open
+	FrameWelcome    byte = 2 // server -> client session accept
+	FrameRequest    byte = 3 // client -> server QRPC request
+	FrameReply      byte = 4 // server -> client QRPC reply
+	FrameAck        byte = 5 // client -> server reply acknowledgement
+	FrameCallback   byte = 6 // server -> client object-change notification
+	FramePing       byte = 7 // liveness / link-quality probe
+	FramePong       byte = 8
+	FrameBatch      byte = 9  // multiple frames in one envelope (mail transport)
+	FrameAuthReject byte = 10 // server -> client authentication failure
+)
+
+// frame header constants.
+const (
+	frameMagic0  = 'R'
+	frameMagic1  = 'o'
+	frameVersion = 1
+
+	// MaxFramePayload bounds a single frame. Larger application payloads
+	// must be split by the caller.
+	MaxFramePayload = 32 << 20
+)
+
+// Errors returned by frame decoding.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported frame version")
+	ErrBadChecksum = errors.New("wire: frame checksum mismatch")
+	ErrFrameSize   = errors.New("wire: frame exceeds size limit")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends the encoded form of f to dst and returns the result.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, frameMagic0, frameMagic1, frameVersion, f.Type)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	crc := crc32.Update(0, crcTable, []byte{f.Type})
+	crc = crc32.Update(crc, crcTable, f.Payload)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	return dst
+}
+
+// EncodeFrame returns the encoded form of f.
+func EncodeFrame(f Frame) []byte {
+	return AppendFrame(make([]byte, 0, len(f.Payload)+16), f)
+}
+
+// EncodedFrameSize returns the on-the-wire size in bytes of a frame with a
+// payload of n bytes. The network simulator uses this to charge link
+// transmission time.
+func EncodedFrameSize(n int) int {
+	var lenBuf [binary.MaxVarintLen64]byte
+	return 4 + binary.PutUvarint(lenBuf[:], uint64(n)) + n + 4
+}
+
+// ReadFrame reads one frame from r, blocking as needed. It returns io.EOF
+// cleanly at end of stream and io.ErrUnexpectedEOF for a torn frame.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Frame{}, err // io.EOF between frames is clean shutdown
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[2] != frameVersion {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if n > MaxFramePayload {
+		return Frame{}, ErrFrameSize
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	got := crc32.Update(0, crcTable, []byte{hdr[3]})
+	got = crc32.Update(got, crcTable, payload)
+	if got != want {
+		return Frame{}, ErrBadChecksum
+	}
+	return Frame{Type: hdr[3], Payload: payload}, nil
+}
+
+// DecodeFrame decodes a single frame from p, returning the frame and the
+// number of bytes consumed.
+func DecodeFrame(p []byte) (Frame, int, error) {
+	if len(p) < 4 {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	if p[0] != frameMagic0 || p[1] != frameMagic1 {
+		return Frame{}, 0, ErrBadMagic
+	}
+	if p[2] != frameVersion {
+		return Frame{}, 0, fmt.Errorf("%w: %d", ErrBadVersion, p[2])
+	}
+	typ := p[3]
+	n, k := binary.Uvarint(p[4:])
+	if k <= 0 {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	if n > MaxFramePayload {
+		return Frame{}, 0, ErrFrameSize
+	}
+	off := 4 + k
+	if len(p) < off+int(n)+4 {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, n)
+	copy(payload, p[off:])
+	off += int(n)
+	want := binary.LittleEndian.Uint32(p[off:])
+	off += 4
+	got := crc32.Update(0, crcTable, []byte{typ})
+	got = crc32.Update(got, crcTable, payload)
+	if got != want {
+		return Frame{}, 0, ErrBadChecksum
+	}
+	return Frame{Type: typ, Payload: payload}, off, nil
+}
+
+// FrameTypeName returns a human-readable name for a frame type tag.
+func FrameTypeName(t byte) string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameRequest:
+		return "request"
+	case FrameReply:
+		return "reply"
+	case FrameAck:
+		return "ack"
+	case FrameCallback:
+		return "callback"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
+	case FrameBatch:
+		return "batch"
+	case FrameAuthReject:
+		return "auth-reject"
+	default:
+		return fmt.Sprintf("unknown(%d)", t)
+	}
+}

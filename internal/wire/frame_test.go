@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTripBytes(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Payload: nil},
+		{Type: FrameRequest, Payload: []byte("hello")},
+		{Type: FrameReply, Payload: bytes.Repeat([]byte{0xAA}, 1000)},
+	}
+	var buf []byte
+	for _, f := range frames {
+		buf = AppendFrame(buf, f)
+	}
+	for _, want := range frames {
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame mismatch: got type %d len %d", got.Type, len(got.Payload))
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d leftover bytes", len(buf))
+	}
+}
+
+func TestFrameRoundTripStream(t *testing.T) {
+	var stream bytes.Buffer
+	frames := []Frame{
+		{Type: FramePing, Payload: []byte{}},
+		{Type: FrameBatch, Payload: []byte("batch contents")},
+	}
+	for _, f := range frames {
+		stream.Write(EncodeFrame(f))
+	}
+	r := bufio.NewReader(&stream)
+	for _, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame mismatch: got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Errorf("at end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameChecksumCatchesCorruption(t *testing.T) {
+	enc := EncodeFrame(Frame{Type: FrameRequest, Payload: []byte("payload data")})
+	for i := 3; i < len(enc); i++ { // skip magic/version (distinct errors)
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x01
+		_, _, err := DecodeFrame(mut)
+		if err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	enc := EncodeFrame(Frame{Type: FramePing})
+	enc[0] = 'X'
+	if _, _, err := DecodeFrame(enc); err != ErrBadMagic {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameBadVersion(t *testing.T) {
+	enc := EncodeFrame(Frame{Type: FramePing})
+	enc[2] = 99
+	_, _, err := DecodeFrame(enc)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Errorf("got %v, want version error", err)
+	}
+}
+
+func TestFrameTornStream(t *testing.T) {
+	enc := EncodeFrame(Frame{Type: FrameReply, Payload: []byte("0123456789")})
+	for cut := 1; cut < len(enc); cut++ {
+		r := bufio.NewReader(bytes.NewReader(enc[:cut]))
+		_, err := ReadFrame(r)
+		if err == nil {
+			t.Fatalf("torn frame at %d decoded successfully", cut)
+		}
+		if err == io.EOF {
+			t.Errorf("torn frame at %d returned clean EOF", cut)
+		}
+	}
+}
+
+func TestEncodedFrameSize(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 1 << 16} {
+		f := Frame{Type: FrameRequest, Payload: make([]byte, n)}
+		if got, want := EncodedFrameSize(n), len(EncodeFrame(f)); got != want {
+			t.Errorf("EncodedFrameSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFrameTypeName(t *testing.T) {
+	if FrameTypeName(FrameRequest) != "request" {
+		t.Error("FrameTypeName(FrameRequest)")
+	}
+	if FrameTypeName(200) != "unknown(200)" {
+		t.Errorf("FrameTypeName(200) = %q", FrameTypeName(200))
+	}
+}
+
+// Property: every frame round-trips through both the byte and stream paths.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(typ byte, payload []byte) bool {
+		in := Frame{Type: typ, Payload: payload}
+		enc := EncodeFrame(in)
+		got, n, err := DecodeFrame(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		if got.Type != typ || !bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		sgot, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)))
+		return err == nil && sgot.Type == typ && bytes.Equal(sgot.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

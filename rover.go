@@ -1,0 +1,489 @@
+// Package rover is a Go implementation of the Rover toolkit for mobile
+// information access (Joseph, deLespinasse, Tauber, Gifford, Kaashoek —
+// SOSP 1995).
+//
+// Rover combines two mechanisms for building "roving" applications that
+// keep working across disconnection and slow links:
+//
+//   - Relocatable Dynamic Objects (RDOs): named objects carrying
+//     interpreted code and state, importable into a client cache and
+//     exportable back to their home server. See Object and the rdo
+//     documentation.
+//   - Queued Remote Procedure Call (QRPC): non-blocking RPC over a stable
+//     operation log, drained by priority when connectivity exists, with
+//     at-most-once execution across disconnections and crashes.
+//
+// # Quick start
+//
+//	srv, _ := rover.NewServer(rover.ServerOptions{ServerID: "home"})
+//	obj := rover.NewObject(rover.MustParseURN("urn:rover:home/notes"), "notes")
+//	obj.Code = `proc add {line} { state set [state size] $line }`
+//	srv.Seed(obj)
+//
+//	cli, _ := rover.NewClient(rover.ClientOptions{ClientID: "laptop"})
+//	link := cli.ConnectPipe(srv)         // or cli.ConnectTCP(addr)
+//	link.SetConnected(true)
+//
+//	cli.ImportWait(ctx, obj.URN)         // fill the cache
+//	cli.Invoke(obj.URN, "add", "hello")  // local, tentative, queued
+//	// disconnect, keep working, reconnect — the queue drains itself.
+//
+// The subpackages are exposed for advanced composition; this package
+// bundles them the way the paper's applications used the toolkit.
+package rover
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"rover/internal/access"
+	"rover/internal/auth"
+	"rover/internal/proto"
+	"rover/internal/qrpc"
+	"rover/internal/rdo"
+	"rover/internal/resolve"
+	"rover/internal/server"
+	"rover/internal/session"
+	"rover/internal/stable"
+	"rover/internal/store"
+	"rover/internal/transport"
+	"rover/internal/urn"
+	"rover/internal/vtime"
+)
+
+// Future is the toolkit's typed promise: wait on it, poll it, or register
+// a callback.
+type Future[T any] = access.Future[T]
+
+// NewFuture returns an incomplete future for application-level
+// composition.
+func NewFuture[T any]() *Future[T] { return access.NewFuture[T]() }
+
+// Core re-exported types. The toolkit's working vocabulary: names,
+// objects, invocations, priorities, futures.
+type (
+	// URN names an object independently of its current server.
+	URN = urn.URN
+	// Object is a relocatable dynamic object.
+	Object = rdo.Object
+	// Invocation is one queued method call (the unit of operation
+	// shipping).
+	Invocation = rdo.Invocation
+	// Priority orders queued requests; higher drains first.
+	Priority = qrpc.Priority
+	// Guarantee selects Bayou session guarantees.
+	Guarantee = session.Guarantee
+	// ImportOptions tune one import.
+	ImportOptions = access.ImportOptions
+	// ExportResult reports an export outcome.
+	ExportResult = access.ExportResult
+	// InvokeResult reports a server-side invocation outcome.
+	InvokeResult = access.InvokeResult
+	// Status is the user-notification snapshot.
+	Status = access.Status
+	// Outcome classifies export results.
+	Outcome = proto.Outcome
+	// ListEntry is one row of a directory listing.
+	ListEntry = proto.ListEntry
+	// StatReply describes a remote object.
+	StatReply = proto.StatReply
+	// ConflictEntry is a manual-repair queue item.
+	ConflictEntry = proto.ConflictEntry
+	// Resolver merges or rejects conflicting operations.
+	Resolver = resolve.Resolver
+	// TentativePolicy selects tolerance for tentative cache entries.
+	TentativePolicy = access.TentativePolicy
+)
+
+// Re-exported priority levels.
+const (
+	PriorityLow        = qrpc.PriorityLow
+	PriorityNormal     = qrpc.PriorityNormal
+	PriorityHigh       = qrpc.PriorityHigh
+	PriorityForeground = qrpc.PriorityForeground
+)
+
+// Re-exported session guarantees.
+const (
+	ReadYourWrites    = session.ReadYourWrites
+	MonotonicReads    = session.MonotonicReads
+	WritesFollowReads = session.WritesFollowReads
+	MonotonicWrites   = session.MonotonicWrites
+	AllGuarantees     = session.All
+	NoGuarantees      = session.None
+)
+
+// Re-exported tentative policies and export outcomes.
+const (
+	AcceptTentative = access.AcceptTentative
+	RejectTentative = access.RejectTentative
+
+	OutcomeCommitted = proto.OutcomeCommitted
+	OutcomeResolved  = proto.OutcomeResolved
+	OutcomeConflict  = proto.OutcomeConflict
+)
+
+// ParseURN parses "urn:rover:<authority>/<path>".
+func ParseURN(s string) (URN, error) { return urn.Parse(s) }
+
+// MustParseURN is ParseURN for known-good literals; it panics on error.
+func MustParseURN(s string) URN { return urn.MustParse(s) }
+
+// NewURN builds a URN from components.
+func NewURN(authority, path string) (URN, error) { return urn.New(authority, path) }
+
+// NewObject returns an empty RDO of the given type.
+func NewObject(u URN, typeName string) *Object { return rdo.New(u, typeName) }
+
+// ReplayResolver is the default optimistic resolver (re-run the operations
+// on current state; the object's methods police invariants).
+var ReplayResolver Resolver = resolve.Replay
+
+// RejectResolver reflects every conflict to the repair queue.
+var RejectResolver Resolver = resolve.Reject
+
+// ClientOptions configure a Rover client.
+type ClientOptions struct {
+	// ClientID identifies the client to servers. Required.
+	ClientID string
+	// LogPath is the stable operation log file; empty selects an
+	// in-memory log (no crash recovery — tests and simulations).
+	LogPath string
+	// ModeledFlushCost gives the in-memory log a virtual-time flush cost,
+	// so simulations charge the stable write to the QRPC critical path as
+	// the paper's prototype does. Ignored when LogPath is set.
+	ModeledFlushCost time.Duration
+	// KeyHex is the hex shared secret for server authentication; empty
+	// disables client-side proofs.
+	KeyHex string
+	// CacheBytes bounds the object cache (<= 0 unbounded).
+	CacheBytes int
+	// Guarantees selects session guarantees; the zero value means "all
+	// four". Set NoSessionGuarantees to disable them entirely.
+	Guarantees Guarantee
+	// NoSessionGuarantees turns session checking off.
+	NoSessionGuarantees bool
+	// NoAutoExport disables export-after-mutation; call Export/ExportAll
+	// manually.
+	NoAutoExport bool
+	// Stdout receives `puts` output from local RDO code.
+	Stdout io.Writer
+	// OnConflict, OnInvalidate, OnStatus surface toolkit events to the UI.
+	OnConflict   func(u URN, message string)
+	OnInvalidate func(u URN, newVersion uint64)
+	OnStatus     func(Status)
+	// Clock overrides time (simulations); nil selects real time.
+	Clock vtime.Clock
+}
+
+// Client is a Rover mobile host: QRPC engine + stable log + access
+// manager, bound to at most one transport at a time.
+type Client struct {
+	engine *qrpc.Client
+	am     *access.AccessManager
+	log    stable.Log
+	tr     transport.ClientTransport
+	clock  vtime.Clock
+}
+
+// NewClient builds a client. Connect a transport with ConnectTCP or
+// ConnectPipe before expecting remote completions; everything else (cache
+// hits, local invocations, enqueueing) works disconnected.
+func NewClient(opts ClientOptions) (*Client, error) {
+	if opts.ClientID == "" {
+		return nil, errors.New("rover: ClientID is required")
+	}
+	var log stable.Log
+	if opts.LogPath != "" {
+		fl, err := stable.OpenFileLog(opts.LogPath, stable.Options{})
+		if err != nil {
+			return nil, err
+		}
+		log = fl
+	} else {
+		log = stable.NewMemLog(stable.Options{FlushCost: opts.ModeledFlushCost})
+	}
+	var key auth.Key
+	if opts.KeyHex != "" {
+		k, err := auth.KeyFromHex(opts.KeyHex)
+		if err != nil {
+			return nil, err
+		}
+		key = k
+	}
+	c := &Client{log: log}
+	guarantees := opts.Guarantees
+	if guarantees == 0 && !opts.NoSessionGuarantees {
+		guarantees = session.All
+	}
+	if opts.NoSessionGuarantees {
+		guarantees = session.None
+	}
+	engine, err := qrpc.NewClient(qrpc.ClientConfig{
+		ClientID: opts.ClientID,
+		Key:      key,
+		Log:      log,
+		OnCallback: func(topic string, payload []byte) {
+			if c.am != nil {
+				c.am.HandleCallback(topic, payload)
+			}
+		},
+		OnStatus: func(si qrpc.StatusInfo) {
+			if opts.OnStatus != nil && c.am != nil {
+				opts.OnStatus(c.am.Status())
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = vtime.NewRealClock()
+	}
+	c.clock = clock
+	am, err := access.New(access.Config{
+		Engine:     engine,
+		Kick:       func() { c.kick() },
+		Clock:      clock,
+		CacheBytes: opts.CacheBytes,
+		Guarantees: guarantees,
+		AutoExport: !opts.NoAutoExport,
+		Stdout:     opts.Stdout,
+		OnConflict: func(u URN, msg string) {
+			if opts.OnConflict != nil {
+				opts.OnConflict(u, msg)
+			}
+		},
+		OnInvalidate: func(u URN, v uint64) {
+			if opts.OnInvalidate != nil {
+				opts.OnInvalidate(u, v)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.engine = engine
+	c.am = am
+	return c, nil
+}
+
+func (c *Client) kick() {
+	if c.tr != nil {
+		c.tr.Kick()
+	}
+}
+
+// ConnectTCP maintains a connection to a TCP Rover server, reconnecting
+// automatically. It returns immediately. The transport shares the client's
+// clock so engine timestamps stay on one time base.
+func (c *Client) ConnectTCP(addr string) {
+	c.tr = transport.DialTCP(addr, c.engine, c.clock, transport.TCPClientOptions{})
+}
+
+// ConnectPipe joins this client to an in-process server and returns the
+// pipe for connectivity scripting (SetConnected). Used by tests, examples,
+// and demos.
+func (c *Client) ConnectPipe(s *Server) *transport.Pipe {
+	p := transport.NewPipe(c.engine, s.engine, c.clock)
+	c.tr = p
+	return p
+}
+
+// AttachTransport installs a custom transport (simulator harnesses).
+func (c *Client) AttachTransport(tr transport.ClientTransport) { c.tr = tr }
+
+// Engine exposes the QRPC engine (benchmark harnesses, custom adapters).
+func (c *Client) Engine() *qrpc.Client { return c.engine }
+
+// Access exposes the access manager for advanced use.
+func (c *Client) Access() *access.AccessManager { return c.am }
+
+// Import obtains an object (cache-first); see access.AccessManager.Import.
+func (c *Client) Import(u URN, opts ImportOptions) *access.Future[*Object] {
+	return c.am.Import(u, opts)
+}
+
+// ImportWait imports and blocks until the object is available.
+func (c *Client) ImportWait(ctx context.Context, u URN) (*Object, error) {
+	return c.am.Import(u, ImportOptions{}).Wait(ctx)
+}
+
+// Invoke executes a method on the locally cached RDO (tentative update).
+func (c *Client) Invoke(u URN, method string, args ...string) (string, error) {
+	return c.am.Invoke(u, method, args...)
+}
+
+// InvokeRemote executes a method at the object's home server.
+func (c *Client) InvokeRemote(u URN, method string, args []string, p Priority) *access.Future[InvokeResult] {
+	return c.am.InvokeRemote(u, method, args, p)
+}
+
+// InvokeBest picks the execution placement automatically: local when the
+// object is cached, at the server otherwise.
+func (c *Client) InvokeBest(u URN, method string, args []string, p Priority) *access.Future[InvokeResult] {
+	return c.am.InvokeBest(u, method, args, p)
+}
+
+// Export ships queued tentative operations for one object.
+func (c *Client) Export(u URN, p Priority) (*access.Future[ExportResult], error) {
+	return c.am.Export(u, p)
+}
+
+// ExportAll exports every tentative object.
+func (c *Client) ExportAll(p Priority) []*access.Future[ExportResult] {
+	return c.am.ExportAll(p)
+}
+
+// Create registers a new object at its home server.
+func (c *Client) Create(obj *Object, p Priority) *access.Future[uint64] {
+	return c.am.Create(obj, p)
+}
+
+// CreateWait creates and blocks for the committed version.
+func (c *Client) CreateWait(ctx context.Context, obj *Object) (uint64, error) {
+	return c.am.Create(obj, PriorityNormal).Wait(ctx)
+}
+
+// Stat probes a remote object.
+func (c *Client) Stat(u URN, p Priority) *access.Future[StatReply] {
+	return c.am.Stat(u, p)
+}
+
+// List enumerates remote objects under a prefix.
+func (c *Client) List(prefix URN, p Priority) *access.Future[[]ListEntry] {
+	return c.am.List(prefix, p)
+}
+
+// Subscribe requests invalidation callbacks for objects under prefix.
+func (c *Client) Subscribe(prefix URN, p Priority) *access.Future[struct{}] {
+	return c.am.Subscribe(prefix, p)
+}
+
+// Prefetch warms the cache with one object at low priority.
+func (c *Client) Prefetch(u URN) *access.Future[*Object] { return c.am.Prefetch(u) }
+
+// PrefetchPrefix warms the cache with everything under prefix.
+func (c *Client) PrefetchPrefix(prefix URN) *access.Future[int] {
+	return c.am.PrefetchPrefix(prefix)
+}
+
+// Conflicts fetches the server's manual-repair queue.
+func (c *Client) Conflicts(p Priority) *access.Future[[]ConflictEntry] {
+	return c.am.Conflicts(p)
+}
+
+// Checkout requests an exclusive check-out lock on an object (pessimistic
+// concurrency control for atomic-action-structured applications). See
+// access.AccessManager.Checkout.
+func (c *Client) Checkout(u URN, force bool, p Priority) *access.Future[access.CheckoutResult] {
+	return c.am.Checkout(u, force, p)
+}
+
+// Checkin releases a check-out lock.
+func (c *Client) Checkin(u URN, p Priority) *access.Future[struct{}] {
+	return c.am.Checkin(u, p)
+}
+
+// Tentative reports whether u has uncommitted local operations.
+func (c *Client) Tentative(u URN) bool { return c.am.Tentative(u) }
+
+// Cached reports whether u is in the local cache.
+func (c *Client) Cached(u URN) bool { return c.am.Cached(u) }
+
+// Status returns the user-notification snapshot.
+func (c *Client) Status() Status { return c.am.Status() }
+
+// Close shuts down the transport, engine, and log. Queued requests stay
+// on a file-backed log for the next incarnation.
+func (c *Client) Close() error {
+	var err error
+	if c.tr != nil {
+		err = c.tr.Close()
+	}
+	c.engine.Close()
+	if lerr := c.log.Close(); err == nil {
+		err = lerr
+	}
+	return err
+}
+
+// ServerOptions configure a Rover server.
+type ServerOptions struct {
+	// ServerID names the server in handshakes and logs.
+	ServerID string
+	// AuthKeys maps client IDs to hex keys; nil disables authentication.
+	AuthKeys map[string]string
+	// SnapshotPath, when set, is loaded at startup if present; call
+	// SaveSnapshot to persist.
+	SnapshotPath string
+	// InvokeBudget bounds server-side RDO execution steps per invocation.
+	InvokeBudget int64
+}
+
+// Server is a Rover home server: QRPC engine + object store + conflict
+// pipeline.
+type Server struct {
+	engine *qrpc.Server
+	srv    *server.Server
+	opts   ServerOptions
+}
+
+// NewServer builds a server.
+func NewServer(opts ServerOptions) (*Server, error) {
+	var reg *auth.Registry
+	if len(opts.AuthKeys) > 0 {
+		reg = auth.NewRegistry()
+		for id, hexKey := range opts.AuthKeys {
+			k, err := auth.KeyFromHex(hexKey)
+			if err != nil {
+				return nil, fmt.Errorf("rover: key for %q: %w", id, err)
+			}
+			reg.Add(id, k)
+		}
+	}
+	engine := qrpc.NewServer(qrpc.ServerConfig{ServerID: opts.ServerID, Auth: reg})
+	srv, err := server.New(server.Config{Engine: engine, InvokeBudget: opts.InvokeBudget})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{engine: engine, srv: srv, opts: opts}
+	if opts.SnapshotPath != "" {
+		if err := srv.Store().Load(opts.SnapshotPath); err == nil {
+			// loaded existing snapshot
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the QRPC server engine (transport attachment).
+func (s *Server) Engine() *qrpc.Server { return s.engine }
+
+// Store exposes the object store.
+func (s *Server) Store() *store.Store { return s.srv.Store() }
+
+// RegisterResolver installs a type-specific conflict resolver.
+func (s *Server) RegisterResolver(typeName string, r Resolver) {
+	s.srv.Resolvers().Register(typeName, r)
+}
+
+// Seed creates an object directly in the store (server-side provisioning).
+func (s *Server) Seed(obj *Object) error { return s.srv.Store().Create(obj) }
+
+// ListenTCP serves the engine on a TCP address; returns the listener
+// handle (whose Addr reports the bound address).
+func (s *Server) ListenTCP(addr string) (*transport.TCPServer, error) {
+	return transport.ListenTCP(addr, s.engine, nil)
+}
+
+// SaveSnapshot persists the object store to the configured snapshot path.
+func (s *Server) SaveSnapshot() error {
+	if s.opts.SnapshotPath == "" {
+		return errors.New("rover: no SnapshotPath configured")
+	}
+	return s.srv.Store().Save(s.opts.SnapshotPath)
+}
