@@ -1,0 +1,581 @@
+// Command rover-chaos runs seeded randomized fault schedules against the
+// QRPC stack and checks the invariants the toolkit promises mobile
+// applications:
+//
+//   - at-most-once execution: no request runs twice at the server, no
+//     matter how many duplicates, retransmissions, or replays arrive;
+//   - no lost work: every accepted request eventually completes with the
+//     correct result once connectivity returns;
+//   - log replay convergence: a client rebuilt from its stable log picks
+//     up exactly its unanswered requests — no loss, no double-complete;
+//   - ack durability: reply caches drain once acknowledgements land.
+//
+// Four scenarios cover the transports: `sim` (deterministic virtual-time
+// link with frame drop/dup/reorder/corrupt/delay and outages), `pipe`
+// (the full rover facade running a booking workload over a flapping,
+// fault-injected in-process link), `mail` (spool loss/duplication/outages
+// with client crashes recovered from the log), and `crash` (engine
+// crash/restart cycles over a real file-backed log, including torn-tail
+// writes).
+//
+// Every schedule is reproducible: on a violation the failing seed and a
+// repro command line are printed and the process exits nonzero.
+//
+//	go run ./cmd/rover-chaos -schedules=100 -seed=1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rover"
+	"rover/internal/faults"
+	"rover/internal/netsim"
+	"rover/internal/qrpc"
+	"rover/internal/stable"
+	"rover/internal/transport"
+	"rover/internal/vtime"
+)
+
+var (
+	schedules = flag.Int("schedules", 25, "number of fault schedules per scenario")
+	seed      = flag.Int64("seed", 1, "base seed; schedule i uses seed+i")
+	scenario  = flag.String("transport", "all", "scenario to run: all, sim, pipe, mail, crash")
+	verbose   = flag.Bool("v", false, "print per-schedule stats")
+)
+
+type runner struct {
+	name string
+	run  func(seed int64, verbose bool) error
+}
+
+func main() {
+	flag.Parse()
+	all := []runner{
+		{"sim", runSim},
+		{"pipe", runPipe},
+		{"mail", runMail},
+		{"crash", runCrash},
+	}
+	var picked []runner
+	for _, r := range all {
+		if *scenario == "all" || *scenario == r.name {
+			picked = append(picked, r)
+		}
+	}
+	if len(picked) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown -transport %q\n", *scenario)
+		os.Exit(2)
+	}
+	start := time.Now()
+	for i := 0; i < *schedules; i++ {
+		s := *seed + int64(i)
+		for _, r := range picked {
+			if err := r.run(s, *verbose); err != nil {
+				fmt.Fprintf(os.Stderr, "VIOLATION scenario=%s seed=%d: %v\n", r.name, s, err)
+				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -transport=%s -v\n", s, r.name)
+				os.Exit(1)
+			}
+		}
+		if *verbose {
+			fmt.Printf("schedule %d ok (seed %d)\n", i, s)
+		}
+	}
+	fmt.Printf("rover-chaos: %d schedules x %d scenarios, zero violations (%.1fs)\n",
+		*schedules, len(picked), time.Since(start).Seconds())
+}
+
+// ---------------------------------------------------------------------------
+// sim: deterministic virtual-time schedule over a lossy wireless link with
+// injected frame faults, link outages, and a fault-injected stable log.
+
+func runSim(seed int64, verbose bool) error {
+	sched := vtime.NewScheduler()
+	rng := rand.New(rand.NewSource(seed))
+
+	mem := stable.NewMemLog(stable.Options{})
+	flog := faults.WrapLog(mem, seed^0x51, faults.LogFaultRates{AppendFail: 0.05})
+	cli, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "chaos-sim", Log: flog})
+	if err != nil {
+		return err
+	}
+	srv := qrpc.NewServer(qrpc.ServerConfig{ServerID: "chaos-srv"})
+	execs := map[uint64]int{} // single-threaded under the scheduler
+	srv.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		execs[req.Seq]++
+		return req.Args, nil
+	})
+
+	rates := faults.FrameFaultRates{
+		Drop: 0.08, Dup: 0.05, Reorder: 0.05, Corrupt: 0.05,
+		Delay: 0.10, MaxDelay: 200 * time.Millisecond,
+	}
+	ffCli := faults.NewFrameFaults(seed*2+1, rates)
+	ffSrv := faults.NewFrameFaults(seed*2+2, rates)
+	spec := netsim.WaveLAN2
+	spec.LossRate = 0.05
+	link := transport.NewSimFaulty(sched, spec, seed, cli, srv, ffCli, ffSrv)
+
+	// Workload: requests enqueued at seeded times across the first 2s.
+	type issued struct {
+		seq     uint64
+		payload byte
+		p       *qrpc.Promise
+	}
+	var accepted []issued
+	const n = 30
+	pris := []qrpc.Priority{qrpc.PriorityLow, qrpc.PriorityNormal, qrpc.PriorityHigh}
+	for i := 0; i < n; i++ {
+		i := i
+		pri := pris[rng.Intn(len(pris))]
+		sched.At(vtime.Time(rng.Int63n(int64(2*time.Second))), func() {
+			p, err := cli.Enqueue("echo", []byte{byte(i)}, pri, sched.Now())
+			if err == nil {
+				accepted = append(accepted, issued{p.Seq(), byte(i), p})
+			}
+			link.Kick()
+		})
+	}
+	// Outages across the fault phase.
+	for k := 0; k < 3; k++ {
+		at := vtime.Time(int64(200*time.Millisecond) + rng.Int63n(int64(3*time.Second)))
+		link.Duplex().ScheduleOutage(at, time.Duration(rng.Int63n(int64(500*time.Millisecond))))
+	}
+	// Retransmission clock armed after the last enqueue so it cannot die
+	// on an empty queue before the workload starts.
+	sched.At(vtime.Time(2*time.Second), func() {
+		link.EnableRetransmitPolicy(faults.RetryPolicy{
+			Initial: 150 * time.Millisecond, Max: 2 * time.Second, Multiplier: 2,
+		}, 400*time.Millisecond)
+	})
+	// End of the fault phase: clean network from here on.
+	sched.At(vtime.Time(4*time.Second), func() {
+		ffCli.SetEnabled(false)
+		ffSrv.SetEnabled(false)
+		flog.SetEnabled(false)
+	})
+
+	if _, drained := sched.Run(2_000_000); !drained {
+		return fmt.Errorf("scheduler did not drain (pending=%d, client pending=%d)", sched.Pending(), cli.Pending())
+	}
+	for _, a := range accepted {
+		res, rerr, ok := a.p.Result()
+		if !ok {
+			return fmt.Errorf("seq %d never completed", a.seq)
+		}
+		if rerr != nil || len(res) != 1 || res[0] != a.payload {
+			return fmt.Errorf("seq %d wrong result %q %v", a.seq, res, rerr)
+		}
+		if execs[a.seq] != 1 {
+			return fmt.Errorf("seq %d executed %d times", a.seq, execs[a.seq])
+		}
+	}
+	for seq, c := range execs {
+		if c > 1 {
+			return fmt.Errorf("at-most-once violated: seq %d executed %d times", seq, c)
+		}
+	}
+	// Ack durability: link cycles must drain the reply cache (the
+	// reconnect Hello advertises LowSeq above every consumed reply). The
+	// link spec still models loss, so the Hello itself can be lost on any
+	// one cycle — the property is eventual, checked over a few cycles.
+	cached := func() int {
+		total := 0
+		for _, sess := range srv.Sessions() {
+			total += sess.CachedReplies
+		}
+		return total
+	}
+	for cycle := 0; cycle < 10 && cached() > 0; cycle++ {
+		link.Duplex().ScheduleOutage(sched.Now().Add(10*time.Millisecond), 10*time.Millisecond)
+		if _, drained := sched.Run(100_000); !drained {
+			return fmt.Errorf("final link cycle did not drain")
+		}
+	}
+	if n := cached(); n != 0 {
+		return fmt.Errorf("ack durability: %d cached replies survived 10 clean reconnects", n)
+	}
+	if verbose {
+		fmt.Printf("  sim: %d/%d accepted, resent=%d, faults=%+v\n",
+			len(accepted), n, cli.Stats().Resent, ffCli.Stats())
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// pipe: the full rover facade (RDO cache, tentative invocations,
+// auto-export, session guarantees) booking unique slots over a flapping,
+// fault-injected in-process link. Every booking must commit exactly once
+// with zero conflicts.
+
+func runPipe(seed int64, verbose bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	srv, err := rover.NewServer(rover.ServerOptions{ServerID: "chaos"})
+	if err != nil {
+		return err
+	}
+	obj := rover.NewObject(rover.MustParseURN("urn:rover:chaos/slots"), "slots")
+	obj.Code = `
+		proc book {slot who} {
+			if {[state exists $slot]} { error "taken" }
+			state set $slot $who
+		}
+	`
+	if err := srv.Seed(obj); err != nil {
+		return err
+	}
+
+	const clients = 2
+	const perClient = 12
+	var conflictMu sync.Mutex
+	conflicts := 0
+	clis := make([]*rover.Client, clients)
+	pipes := make([]*transport.Pipe, clients)
+	for ci := range clis {
+		cli, err := rover.NewClient(rover.ClientOptions{
+			ClientID: fmt.Sprintf("chaos-%d", ci),
+			OnConflict: func(rover.URN, string) {
+				conflictMu.Lock()
+				conflicts++
+				conflictMu.Unlock()
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		clis[ci] = cli
+		pipes[ci] = cli.ConnectPipe(srv)
+		pipes[ci].SetConnected(true)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, cli := range clis {
+		if _, err := cli.ImportWait(ctx, obj.URN); err != nil {
+			return fmt.Errorf("import: %w", err)
+		}
+	}
+	// Faults on only after the import so setup is not part of the chaos.
+	for ci, p := range pipes {
+		p.SetFaults(
+			faults.NewFrameFaults(seed*10+int64(ci)*2+1, faults.FrameFaultRates{Drop: 0.05, Dup: 0.05, Corrupt: 0.05}),
+			faults.NewFrameFaults(seed*10+int64(ci)*2+2, faults.FrameFaultRates{Drop: 0.05, Dup: 0.05, Corrupt: 0.05}),
+		)
+	}
+
+	// Book unique slots while the links flap on a seeded schedule.
+	for j := 0; j < perClient; j++ {
+		for ci, cli := range clis {
+			slot := fmt.Sprintf("c%d-s%d", ci, j)
+			if _, err := cli.Invoke(obj.URN, "book", slot, fmt.Sprintf("chaos-%d", ci)); err != nil {
+				return fmt.Errorf("invoke %s: %w", slot, err)
+			}
+			if rng.Float64() < 0.3 {
+				pipes[ci].SetConnected(false)
+			} else if rng.Float64() < 0.6 {
+				pipes[ci].SetConnected(true)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Clean drain: faults off, links up, flap periodically to force
+	// redelivery of anything a dropped frame stranded.
+	for _, p := range pipes {
+		p.SetFaults(nil, nil)
+		p.SetConnected(true)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for ci, cli := range clis {
+		for i := 0; ; i++ {
+			st := cli.Status()
+			if !cli.Tentative(obj.URN) && st.Queued == 0 && st.AwaitingReply == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("client %d drain stalled: %+v", ci, st)
+			}
+			if i%50 == 49 {
+				pipes[ci].SetConnected(false)
+				pipes[ci].SetConnected(true)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	got, err := srv.Store().Get(obj.URN)
+	if err != nil {
+		return err
+	}
+	if len(got.State) != clients*perClient {
+		return fmt.Errorf("store has %d bookings, want %d", len(got.State), clients*perClient)
+	}
+	conflictMu.Lock()
+	defer conflictMu.Unlock()
+	if conflicts != 0 {
+		return fmt.Errorf("%d conflicts on disjoint slots", conflicts)
+	}
+	if verbose {
+		fmt.Printf("  pipe: %d bookings committed, 0 conflicts\n", len(got.State))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// mail: spool loss, duplication, and relay outages under virtual time,
+// with client crashes recovered from the shared stable log mid-run.
+
+func runMail(seed int64, verbose bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	log := stable.NewMemLog(stable.Options{})
+	completions := map[uint64]int{}
+	execs := map[uint64]int{}
+	track := func(p *qrpc.Promise) {
+		p.OnComplete(func(p *qrpc.Promise) { completions[p.Seq()]++ })
+	}
+	newEngine := func() (*qrpc.Client, error) {
+		return qrpc.NewClient(qrpc.ClientConfig{
+			ClientID:    "chaos-mail",
+			Log:         log,
+			OnRecovered: func(_ qrpc.Request, p *qrpc.Promise) { track(p) },
+		})
+	}
+	cli, err := newEngine()
+	if err != nil {
+		return err
+	}
+	srv := qrpc.NewServer(qrpc.ServerConfig{ServerID: "chaos-relay"})
+	srv.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		execs[req.Seq]++
+		return req.Args, nil
+	})
+
+	spool := transport.NewSpool(20 * time.Millisecond)
+	spool.SetFaults(seed^0x3a, 0.15, 0.15)
+	ms := transport.NewMailServer(spool, "relay", srv)
+	policy := faults.RetryPolicy{Initial: 50 * time.Millisecond, Max: time.Second, Multiplier: 2}
+	mc := transport.NewMailClient(spool, "mobile", "relay", cli, nil)
+	runner := transport.NewMailRunner(mc, policy)
+	crasher := faults.NewCrasher(seed^0x77, 0.01, 3)
+
+	accepted := map[uint64]bool{}
+	const n = 20
+	issued := 0
+	now := vtime.Time(0)
+	downUntil := 0
+	for step := 0; step < 4000; step++ {
+		now = now.Add(5 * time.Millisecond)
+		if issued < n && rng.Float64() < 0.05 {
+			p, err := cli.Enqueue("echo", []byte{byte(issued)}, qrpc.PriorityNormal, now)
+			if err == nil {
+				accepted[p.Seq()] = true
+				track(p)
+			}
+			issued++
+		}
+		if step >= downUntil && rng.Float64() < 0.01 {
+			downUntil = step + 1 + rng.Intn(100)
+			spool.SetDown(true)
+		}
+		if step == downUntil {
+			spool.SetDown(false)
+		}
+		if runner.Due(now) {
+			runner.Tick(now)
+		}
+		ms.Poll(now)
+		if crasher.Strike() {
+			// Client process dies; the next incarnation recovers its
+			// unanswered requests from the shared stable log.
+			cli, err = newEngine()
+			if err != nil {
+				return err
+			}
+			mc = transport.NewMailClient(spool, "mobile", "relay", cli, nil)
+			runner = transport.NewMailRunner(mc, policy)
+		}
+		if issued == n && cli.Pending() == 0 {
+			break
+		}
+	}
+	// Clean drain: relay healthy, no loss or duplication.
+	spool.SetDown(false)
+	spool.SetFaults(seed, 0, 0)
+	for step := 0; cli.Pending() > 0 && step < 2000; step++ {
+		now = now.Add(5 * time.Millisecond)
+		if runner.Due(now) {
+			runner.Tick(now)
+		}
+		ms.Poll(now)
+	}
+	if cli.Pending() != 0 {
+		return fmt.Errorf("mail drain stalled with %d pending", cli.Pending())
+	}
+	for seq := range accepted {
+		if completions[seq] == 0 {
+			return fmt.Errorf("accepted seq %d lost across %d crashes", seq, crasher.Crashes())
+		}
+	}
+	for seq, c := range execs {
+		if c > 1 {
+			return fmt.Errorf("at-most-once violated: seq %d executed %d times", seq, c)
+		}
+	}
+	if verbose {
+		st := spool.Stats()
+		fmt.Printf("  mail: %d accepted, crashes=%d, spool drops=%d/%d dups=%d\n",
+			len(accepted), crasher.Crashes(), st.DroppedDown, st.DroppedLoss, st.Duplicated)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// crash: engine crash/restart cycles over a real file-backed log and an
+// in-process link, including torn trailing writes injected at crash time —
+// the full recovery path (CRC validation, torn-tail truncation, replay).
+
+func runCrash(seed int64, verbose bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	dir, err := os.MkdirTemp("", "rover-chaos")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "wal")
+	clock := vtime.NewRealClock()
+
+	var mu sync.Mutex // completions/execs touched from pump goroutines
+	completions := map[uint64]int{}
+	execs := map[uint64]int{}
+	srv := qrpc.NewServer(qrpc.ServerConfig{ServerID: "chaos-crash"})
+	srv.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		mu.Lock()
+		execs[req.Seq]++
+		mu.Unlock()
+		return req.Args, nil
+	})
+	track := func(p *qrpc.Promise) {
+		p.OnComplete(func(p *qrpc.Promise) {
+			mu.Lock()
+			completions[p.Seq()]++
+			mu.Unlock()
+		})
+	}
+	open := func() (*qrpc.Client, *stable.FileLog, error) {
+		flog, err := stable.OpenFileLog(path, stable.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		cli, err := qrpc.NewClient(qrpc.ClientConfig{
+			ClientID:    "chaos-crash",
+			Log:         flog,
+			OnRecovered: func(_ qrpc.Request, p *qrpc.Promise) { track(p) },
+		})
+		if err != nil {
+			flog.Close()
+			return nil, nil, err
+		}
+		return cli, flog, nil
+	}
+
+	cli, flog, err := open()
+	if err != nil {
+		return err
+	}
+	pipe := transport.NewPipe(cli, srv, nil)
+	pipe.SetConnected(true)
+
+	accepted := map[uint64]bool{}
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 6; i++ {
+			p, err := cli.Enqueue("echo", []byte{byte(r*10 + i)}, qrpc.PriorityNormal, clock.Now())
+			if err == nil {
+				mu.Lock()
+				accepted[p.Seq()] = true
+				mu.Unlock()
+				track(p)
+			}
+			pipe.Kick()
+		}
+		// Let some requests complete (and their log records be removed)
+		// before the crash, so replay sees a mixed log.
+		time.Sleep(time.Duration(rng.Intn(10)+2) * time.Millisecond)
+
+		// Crash: link gone, log file closed mid-stream.
+		pipe.SetConnected(false)
+		pipe.Close()
+		flog.Close()
+
+		injectTorn := rng.Float64() < 0.5
+		if injectTorn {
+			// Simulate a torn append: the prefix of a valid record (the
+			// file's own first bytes are one) written but cut short by the
+			// crash. Recovery must truncate it and keep everything before.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if len(data) >= 8 {
+				f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Write(data[:3]); err != nil {
+					f.Close()
+					return err
+				}
+				f.Close()
+			} else {
+				injectTorn = false
+			}
+		}
+
+		cli, flog, err = open()
+		if err != nil {
+			return fmt.Errorf("round %d recovery failed: %w", r, err)
+		}
+		if injectTorn && flog.TornTail() == nil {
+			return fmt.Errorf("round %d: injected torn tail not detected", r)
+		}
+		pipe = transport.NewPipe(cli, srv, nil)
+		pipe.SetConnected(true)
+	}
+	defer pipe.Close()
+	defer flog.Close()
+
+	// Drain: flap periodically so redelivery covers anything stranded.
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; cli.Pending() > 0; i++ {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("crash drain stalled with %d pending", cli.Pending())
+		}
+		if i%50 == 49 {
+			pipe.SetConnected(false)
+			pipe.SetConnected(true)
+		}
+		pipe.Kick()
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for seq := range accepted {
+		if completions[seq] == 0 {
+			return fmt.Errorf("accepted seq %d never completed across restarts", seq)
+		}
+	}
+	for seq, c := range execs {
+		if c > 1 {
+			return fmt.Errorf("at-most-once violated: seq %d executed %d times", seq, c)
+		}
+	}
+	if verbose {
+		fmt.Printf("  crash: %d requests across %d restarts, all recovered\n", len(accepted), rounds)
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ var (
 	ErrNothingToExport = errors.New("access: no tentative operations to export")
 	ErrExportInFlight  = errors.New("access: export already in flight")
 	ErrTentativePinned = errors.New("access: object has tentative data")
+	ErrShedLoad        = errors.New("access: pending queue full, request shed")
 )
 
 // TentativePolicy selects whether an import may be served from a cache
@@ -90,6 +91,7 @@ type Stats struct {
 	Conflicts     int64
 	Prefetches    int64
 	Invalidations int64
+	Shed          int64 // QRPCs refused by pending-queue backpressure
 }
 
 // Config configures an access manager.
@@ -109,6 +111,13 @@ type Config struct {
 	// operations still ride the queue — AutoExport costs nothing while
 	// disconnected, and makes reconnection drain everything automatically.
 	AutoExport bool
+	// MaxPending bounds the engine's pending queue (queued + awaiting
+	// reply) for graceful degradation when the transport or stable log is
+	// failing. At MaxPending, low-priority QRPCs (prefetches) are shed with
+	// ErrShedLoad; at twice MaxPending, every new QRPC is shed, protecting
+	// the stable log and memory from unbounded growth. Zero disables the
+	// bound.
+	MaxPending int
 	// Stdout receives `puts` output from locally executed RDO code.
 	Stdout io.Writer
 	// OnConflict is told when exported operations were rejected (manual
@@ -154,8 +163,20 @@ func pri(p qrpc.Priority) qrpc.Priority {
 	return p
 }
 
-// enqueue ships a QRPC and kicks the transport.
+// enqueue ships a QRPC and kicks the transport. It is the single
+// chokepoint for every outgoing request, which is where backpressure
+// belongs: when the queue is backed up (dead link, failing log), shed
+// prefetches first, then everything.
 func (am *AccessManager) enqueue(svc string, msg wire.Marshaler, p qrpc.Priority) (*qrpc.Promise, error) {
+	if limit := am.cfg.MaxPending; limit > 0 {
+		pending := am.cfg.Engine.Pending()
+		if pending >= 2*limit || (pending >= limit && pri(p) == qrpc.PriorityLow) {
+			am.mu.Lock()
+			am.stats.Shed++
+			am.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d pending (limit %d)", ErrShedLoad, pending, limit)
+		}
+	}
 	prom, err := am.cfg.Engine.Enqueue(svc, wire.Marshal(msg), pri(p), am.now())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,85 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rover/internal/qrpc"
+	"rover/internal/stable"
+	"rover/internal/urn"
+)
+
+// TestBackpressureShedsPrefetchesFirst drives the pending queue into
+// overload with no transport attached (a dead link) and checks the two-step
+// degradation: prefetches (PriorityLow) shed at MaxPending, everything at
+// twice MaxPending.
+func TestBackpressureShedsPrefetchesFirst(t *testing.T) {
+	cli, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "bp", Log: stable.NewMemLog(stable.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 3
+	am, err := New(Config{Engine: cli, MaxPending: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := func(i int) urn.URN {
+		return urn.MustParse(fmt.Sprintf("urn:rover:bp/obj-%d", i))
+	}
+
+	// Fill to the soft limit with user-issued (Normal) requests.
+	for i := 0; i < limit; i++ {
+		if f := am.Stat(u(i), qrpc.PriorityNormal); f.Ready() {
+			_, ferr, _ := f.Result()
+			t.Fatalf("stat %d refused below limit: %v", i, ferr)
+		}
+	}
+	// Prefetches are now shed...
+	pf := am.Prefetch(u(100))
+	if !pf.Ready() {
+		t.Fatal("prefetch at soft limit did not resolve immediately")
+	}
+	if _, ferr, _ := pf.Result(); !errors.Is(ferr, ErrShedLoad) {
+		t.Fatalf("prefetch error = %v, want ErrShedLoad", ferr)
+	}
+	// ...but user-issued requests still get through, up to the hard limit.
+	for i := limit; i < 2*limit; i++ {
+		if f := am.Stat(u(i), qrpc.PriorityNormal); f.Ready() {
+			_, ferr, _ := f.Result()
+			t.Fatalf("stat %d refused between soft and hard limit: %v", i, ferr)
+		}
+	}
+	over := am.Stat(u(200), qrpc.PriorityNormal)
+	if !over.Ready() {
+		t.Fatal("stat past hard limit did not resolve immediately")
+	}
+	if _, ferr, _ := over.Result(); !errors.Is(ferr, ErrShedLoad) {
+		t.Fatalf("stat past hard limit error = %v, want ErrShedLoad", ferr)
+	}
+	if got := am.Stats().Shed; got != 2 {
+		t.Errorf("Stats().Shed = %d, want 2", got)
+	}
+	if got := cli.Pending(); got != 2*limit {
+		t.Errorf("engine pending = %d, want %d", got, 2*limit)
+	}
+}
+
+// TestBackpressureDisabledByDefault: the zero Config imposes no bound.
+func TestBackpressureDisabledByDefault(t *testing.T) {
+	cli, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "bp0", Log: stable.NewMemLog(stable.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := New(Config{Engine: cli})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		f := am.Stat(urn.MustParse(fmt.Sprintf("urn:rover:bp0/o%d", i)), qrpc.PriorityLow)
+		if f.Ready() {
+			_, ferr, _ := f.Result()
+			t.Fatalf("unbounded queue refused request %d: %v", i, ferr)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package faults
+
+import "math/rand"
+
+// Crasher is a seeded schedule of process-crash points. A harness consults
+// Strike at each crash opportunity (between workload steps, mid-drain) and,
+// when it fires, simulates the crash: abandon the engine without shutdown,
+// rebuild it from the same stable log, and reattach the transport —
+// exercising the recovery path the paper's crash-safety story depends on.
+type Crasher struct {
+	rng   *rand.Rand
+	prob  float64
+	max   int
+	count int
+}
+
+// NewCrasher builds a crash schedule: each Strike fires with probability
+// prob, at most max times total.
+func NewCrasher(seed int64, prob float64, max int) *Crasher {
+	return &Crasher{rng: rand.New(rand.NewSource(seed)), prob: prob, max: max}
+}
+
+// Strike reports whether a crash happens at this opportunity.
+func (c *Crasher) Strike() bool {
+	if c.count >= c.max {
+		return false
+	}
+	if c.rng.Float64() >= c.prob {
+		return false
+	}
+	c.count++
+	return true
+}
+
+// Crashes returns how many times Strike has fired.
+func (c *Crasher) Crashes() int { return c.count }

@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"rover/internal/wire"
+)
+
+// FrameFaultRates sets per-frame probabilities for each fault class. The
+// classes are mutually exclusive per frame, evaluated in the field order
+// below; their sum must not exceed 1.
+type FrameFaultRates struct {
+	// Drop loses the frame silently (the sender believes it was sent).
+	Drop float64
+	// Dup delivers the frame twice.
+	Dup float64
+	// Reorder holds the frame back and releases it after the next one.
+	Reorder float64
+	// Corrupt flips one byte of the encoded frame. The wire CRC rejects the
+	// result, so a corrupted frame is (almost always) a loss that exercised
+	// the real validation path rather than a synthetic drop.
+	Corrupt float64
+	// Delay holds the frame for a random duration up to MaxDelay before
+	// delivery. Only transports with a delivery clock honor it (Sim); the
+	// others treat it as a pass.
+	Delay float64
+	// MaxDelay bounds the injected delay.
+	MaxDelay time.Duration
+}
+
+// FrameFaultStats counts injected frame faults.
+type FrameFaultStats struct {
+	Passed     int64
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64 // frames held back for reordering
+	Corrupted  int64 // frames corrupted and rejected by the CRC
+	Delayed    int64
+}
+
+// FrameFaults is a seeded per-frame fault schedule. It is safe for
+// concurrent use; under a single-threaded scheduler (Sim) the decision
+// sequence is fully deterministic for a given seed.
+type FrameFaults struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rates   FrameFaultRates
+	enabled bool
+	held    *wire.Frame // frame awaiting reorder release
+	stats   FrameFaultStats
+}
+
+// NewFrameFaults builds a fault schedule from a seed and rates. It starts
+// enabled.
+func NewFrameFaults(seed int64, rates FrameFaultRates) *FrameFaults {
+	return &FrameFaults{rng: rand.New(rand.NewSource(seed)), rates: rates, enabled: true}
+}
+
+// SetEnabled toggles injection. Disabled, every frame passes through —
+// chaos harnesses disable faults for the final drain phase so convergence
+// invariants are checkable. A frame held for reordering stays held until
+// the next send releases it.
+func (ff *FrameFaults) SetEnabled(on bool) {
+	ff.mu.Lock()
+	ff.enabled = on
+	ff.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (ff *FrameFaults) Stats() FrameFaultStats {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.stats
+}
+
+// Apply decides the fate of one outgoing frame. It returns the frames to
+// actually deliver, in order (possibly none), and a delay to apply to all
+// of them (zero for immediate delivery).
+func (ff *FrameFaults) Apply(f wire.Frame) (out []wire.Frame, delay time.Duration) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	release := func(frames []wire.Frame) []wire.Frame {
+		if ff.held != nil {
+			frames = append(frames, *ff.held)
+			ff.held = nil
+		}
+		return frames
+	}
+	if !ff.enabled {
+		ff.stats.Passed++
+		return release([]wire.Frame{f}), 0
+	}
+	roll := ff.rng.Float64()
+	r := ff.rates
+	switch {
+	case roll < r.Drop:
+		ff.stats.Dropped++
+		return nil, 0
+	case roll < r.Drop+r.Dup:
+		ff.stats.Duplicated++
+		return release([]wire.Frame{f, f}), 0
+	case roll < r.Drop+r.Dup+r.Reorder:
+		if ff.held == nil {
+			held := f
+			ff.held = &held
+			ff.stats.Reordered++
+			return nil, 0
+		}
+		// Already holding one: deliver the new frame first, then the held
+		// one — the actual reordering.
+		out = []wire.Frame{f, *ff.held}
+		ff.held = nil
+		return out, 0
+	case roll < r.Drop+r.Dup+r.Reorder+r.Corrupt:
+		enc := wire.EncodeFrame(f)
+		enc[ff.rng.Intn(len(enc))] ^= 1 << uint(ff.rng.Intn(8))
+		if g, _, err := wire.DecodeFrame(enc); err == nil {
+			// The flip survived validation (it can only have restored the
+			// original bits); deliver what decoded.
+			ff.stats.Passed++
+			return release([]wire.Frame{g}), 0
+		}
+		ff.stats.Corrupted++
+		return nil, 0
+	case r.Delay > 0 && roll < r.Drop+r.Dup+r.Reorder+r.Corrupt+r.Delay:
+		d := r.MaxDelay
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		ff.stats.Delayed++
+		return release([]wire.Frame{f}), time.Duration(ff.rng.Int63n(int64(d)) + 1)
+	default:
+		ff.stats.Passed++
+		return release([]wire.Frame{f}), 0
+	}
+}
+
+// FrameSender is the frame-output interface the wrapped transports expose;
+// it matches qrpc.Sender structurally, so this package needs no dependency
+// on the engine.
+type FrameSender interface {
+	SendFrame(f wire.Frame) bool
+}
+
+// Sender decorates a FrameSender with a FrameFaults schedule. Delayed
+// frames are handed to the delay function (wired to a scheduler by the Sim
+// transport); without one, delays degrade to immediate delivery.
+type Sender struct {
+	inner FrameSender
+	ff    *FrameFaults
+	delay func(d time.Duration, deliver func())
+}
+
+// WrapSender builds a fault-injecting sender around inner. A nil ff yields
+// a transparent wrapper.
+func WrapSender(inner FrameSender, ff *FrameFaults, delay func(d time.Duration, deliver func())) *Sender {
+	return &Sender{inner: inner, ff: ff, delay: delay}
+}
+
+// SendFrame implements the sender interface. Dropped frames report success:
+// the engine believes the frame was sent, which is the point — redelivery
+// machinery, not the sender's return value, must recover the loss.
+func (s *Sender) SendFrame(f wire.Frame) bool {
+	if s.ff == nil {
+		return s.inner.SendFrame(f)
+	}
+	out, d := s.ff.Apply(f)
+	if len(out) == 0 {
+		return true
+	}
+	if d > 0 && s.delay != nil {
+		for _, o := range out {
+			o := o
+			s.delay(d, func() { s.inner.SendFrame(o) })
+		}
+		return true
+	}
+	if len(out) == 1 {
+		return s.inner.SendFrame(out[0])
+	}
+	ok := true
+	for _, o := range out {
+		if !s.inner.SendFrame(o) {
+			ok = false
+		}
+	}
+	return ok
+}

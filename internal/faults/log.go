@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rover/internal/stable"
+)
+
+// ErrInjected marks a failure produced by the fault layer rather than the
+// real storage stack.
+var ErrInjected = errors.New("faults: injected storage failure")
+
+// LogFaultRates sets probabilities for the stable-log fault classes.
+type LogFaultRates struct {
+	// AppendFail fails an Append cleanly: nothing reaches the log.
+	AppendFail float64
+	// AppendDirty is the crash-before-ack failure: the record IS written
+	// durably, but the caller sees an error. On recovery the record is
+	// replayed — the client must tolerate a request it thinks it rejected
+	// coming back to life (and must never reuse its sequence number).
+	AppendDirty float64
+	// RemoveFail fails a Remove; the record stays live and is replayed on
+	// recovery (the server's reply cache absorbs the duplicate).
+	RemoveFail float64
+}
+
+// LogFaultStats counts injected log faults.
+type LogFaultStats struct {
+	AppendsFailed int64
+	AppendsDirty  int64
+	RemovesFailed int64
+}
+
+// Log decorates a stable.Log with seeded fault injection.
+type Log struct {
+	mu      sync.Mutex
+	inner   stable.Log
+	rng     *rand.Rand
+	rates   LogFaultRates
+	enabled bool
+	stats   LogFaultStats
+}
+
+var _ stable.Log = (*Log)(nil)
+
+// WrapLog builds a fault-injecting log around inner. It starts enabled.
+func WrapLog(inner stable.Log, seed int64, rates LogFaultRates) *Log {
+	return &Log{inner: inner, rng: rand.New(rand.NewSource(seed)), rates: rates, enabled: true}
+}
+
+// SetEnabled toggles injection (disable for a harness's drain phase).
+func (l *Log) SetEnabled(on bool) {
+	l.mu.Lock()
+	l.enabled = on
+	l.mu.Unlock()
+}
+
+// FaultStats returns a snapshot of the injected-fault counters.
+func (l *Log) FaultStats() LogFaultStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Append implements stable.Log.
+func (l *Log) Append(rec []byte) (uint64, error) {
+	l.mu.Lock()
+	if l.enabled {
+		roll := l.rng.Float64()
+		if roll < l.rates.AppendFail {
+			l.stats.AppendsFailed++
+			l.mu.Unlock()
+			return 0, fmt.Errorf("%w: append", ErrInjected)
+		}
+		if roll < l.rates.AppendFail+l.rates.AppendDirty {
+			l.stats.AppendsDirty++
+			l.mu.Unlock()
+			id, err := l.inner.Append(rec)
+			if err != nil {
+				return 0, err
+			}
+			return 0, fmt.Errorf("%w: dirty append (record %d persisted)", ErrInjected, id)
+		}
+	}
+	l.mu.Unlock()
+	return l.inner.Append(rec)
+}
+
+// Remove implements stable.Log.
+func (l *Log) Remove(id uint64) error {
+	l.mu.Lock()
+	if l.enabled && l.rng.Float64() < l.rates.RemoveFail {
+		l.stats.RemovesFailed++
+		l.mu.Unlock()
+		return fmt.Errorf("%w: remove %d", ErrInjected, id)
+	}
+	l.mu.Unlock()
+	return l.inner.Remove(id)
+}
+
+// Replay implements stable.Log.
+func (l *Log) Replay(fn func(id uint64, rec []byte) error) error { return l.inner.Replay(fn) }
+
+// Len implements stable.Log.
+func (l *Log) Len() int { return l.inner.Len() }
+
+// Cost implements stable.Log.
+func (l *Log) Cost() time.Duration { return l.inner.Cost() }
+
+// Stats implements stable.Log.
+func (l *Log) Stats() stable.Stats { return l.inner.Stats() }
+
+// Close implements stable.Log.
+func (l *Log) Close() error { return l.inner.Close() }
+
+// Inner returns the wrapped log (harnesses rebuild engines around it after
+// a simulated crash).
+func (l *Log) Inner() stable.Log { return l.inner }

@@ -194,7 +194,11 @@ func (c *Client) Enqueue(service string, args []byte, pri Priority, now vtime.Ti
 	req := Request{Seq: seq, Priority: pri, Service: service, Args: args}
 	logID, err := c.cfg.Log.Append(encodeRequestRecord(&req))
 	if err != nil {
-		c.nextSeq--
+		// Do NOT roll nextSeq back: a "dirty" append failure may have
+		// durably written the record before erroring (crash-before-ack).
+		// Reusing seq for the next enqueue would then collide with the
+		// resurrected request after recovery. Sequence gaps are harmless —
+		// the durable chunk reservation above already creates them.
 		c.mu.Unlock()
 		return nil, fmt.Errorf("qrpc: stable log append: %w", err)
 	}

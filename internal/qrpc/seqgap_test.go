@@ -1,0 +1,67 @@
+package qrpc
+
+import (
+	"testing"
+
+	"rover/internal/faults"
+	"rover/internal/stable"
+)
+
+// TestDirtyAppendNeverReusesSeq covers the crash-before-ack storage fault:
+// the log write succeeds but the caller sees an error. The sequence number
+// burned by the failed enqueue must NOT be reused — after recovery the
+// dirty record resurrects as a live request, and a reused seq would collide
+// with it (two different requests, one dedup slot at the server).
+func TestDirtyAppendNeverReusesSeq(t *testing.T) {
+	inner := stable.NewMemLog(stable.Options{})
+	flog := faults.WrapLog(inner, 1, faults.LogFaultRates{})
+	flog.SetEnabled(false)
+	c, err := NewClient(ClientConfig{ClientID: "c", Log: flog})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := c.Enqueue("svc", []byte("ok-1"), PriorityNormal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One dirty failure: record persisted, error returned.
+	dirty := faults.WrapLog(inner, 1, faults.LogFaultRates{AppendDirty: 1})
+	c.cfg.Log = dirty
+	if _, err := c.Enqueue("svc", []byte("dirty"), PriorityNormal, 0); err == nil {
+		t.Fatal("dirty append must surface its error")
+	}
+	c.cfg.Log = flog
+	p3, err := c.Enqueue("svc", []byte("ok-2"), PriorityNormal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Seq() == p1.Seq() || p3.Seq() == p1.Seq()+1 {
+		t.Fatalf("seq %d reused the dirty enqueue's number (first was %d)", p3.Seq(), p1.Seq())
+	}
+
+	// Recovery: the dirty record comes back as a live request alongside the
+	// two healthy ones, each with a distinct seq.
+	c2, err := NewClient(ClientConfig{ClientID: "c", Log: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make(map[uint64]string)
+	inner.Replay(func(_ uint64, rec []byte) error {
+		req, _, isMeta, err := decodeRecord(rec)
+		if err != nil || isMeta {
+			return nil
+		}
+		if prev, dup := seqs[req.Seq]; dup {
+			t.Fatalf("seq %d assigned to both %q and %q", req.Seq, prev, req.Args)
+		}
+		seqs[req.Seq] = string(req.Args)
+		return nil
+	})
+	if len(seqs) != 3 {
+		t.Fatalf("recovered %d distinct requests, want 3: %v", len(seqs), seqs)
+	}
+	if got := c2.Pending(); got != 3 {
+		t.Fatalf("Pending after recovery = %d, want 3", got)
+	}
+}

@@ -22,9 +22,10 @@ import (
 // kind is 'A' (append) or 'R' (remove); only 'A' records carry a payload.
 // The CRC (Castagnoli) covers every byte of the record before it. A torn
 // record at the tail — the signature of a crash mid-append — is detected
-// and truncated away at open; corruption anywhere earlier is reported as
-// ErrCorrupt, since silently skipping interior records would reorder the
-// replayed request stream.
+// and truncated away at open (TornTail reports the typed ErrTornTail with
+// its offset; every earlier record survives). Corruption anywhere earlier
+// is reported as ErrCorrupt and fails the open, since silently skipping
+// interior records would reorder the replayed request stream.
 type FileLog struct {
 	mu   sync.Mutex
 	path string
@@ -40,6 +41,7 @@ type FileLog struct {
 	stats     Stats
 	closed    bool
 	scratch   []byte
+	torn      *TornTailError // set when recovery truncated a torn tail
 }
 
 type liveRec struct {
@@ -92,6 +94,12 @@ func (l *FileLog) recover() error {
 			if err == errTorn {
 				break // crash tail: truncate below
 			}
+			if err == errBadCRC && off+n == len(data) {
+				// A CRC mismatch on the final record is a torn write whose
+				// partial bytes happened to parse structurally — same crash
+				// signature, same recovery.
+				break
+			}
 			return fmt.Errorf("stable: offset %d: %w", off, err)
 		}
 		off += n
@@ -112,6 +120,7 @@ func (l *FileLog) recover() error {
 		}
 	}
 	if goodEnd < len(data) {
+		l.torn = &TornTailError{Offset: int64(goodEnd)}
 		if err := l.f.Truncate(int64(goodEnd)); err != nil {
 			return fmt.Errorf("stable: truncate torn tail: %w", err)
 		}
@@ -129,7 +138,13 @@ type parsedRecord struct {
 	payload []byte
 }
 
-var errTorn = fmt.Errorf("stable: torn record")
+var (
+	errTorn = fmt.Errorf("stable: torn record")
+	// errBadCRC is a structurally complete record whose checksum failed.
+	// recover decides by position whether it is a torn tail (last record:
+	// truncate and continue) or interior corruption (fail the open).
+	errBadCRC = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+)
 
 func parseRecord(p []byte) (parsedRecord, int, error) {
 	if len(p) < 1 {
@@ -186,12 +201,9 @@ func parseRecord(p []byte) (parsedRecord, int, error) {
 	got := crc32.Checksum(p[:off], crcTable)
 	off += 4
 	if got != want {
-		// A bad CRC at the very tail is a torn write; the caller treats
-		// errTorn at the last record as recoverable. We cannot distinguish
-		// tail from interior here, so report torn and let recover decide
-		// by position: recover stops at the first bad record, and any
-		// *following* bytes would have been unreachable anyway.
-		return parsedRecord{}, 0, errTorn
+		// Report the record's full extent so recover can tell a torn write
+		// at the tail (record ends exactly at EOF) from interior corruption.
+		return parsedRecord{}, off, errBadCRC
 	}
 	return parsedRecord{kind: kind, id: id, payload: payload}, off, nil
 }
@@ -389,6 +401,20 @@ func (l *FileLog) Replay(fn func(id uint64, rec []byte) error) error {
 		}
 	}
 	return nil
+}
+
+// TornTail reports the torn trailing record recovery truncated at open, as
+// a *TornTailError (errors.Is(err, ErrTornTail) is true), or nil if the
+// file ended cleanly. Callers that care about the lost in-flight append —
+// the QRPC client re-enqueues on the error it saw at Append time, so
+// normally none do — can log or alert on it.
+func (l *FileLog) TornTail() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.torn == nil {
+		return nil
+	}
+	return l.torn
 }
 
 // Len implements Log.

@@ -33,7 +33,26 @@ var (
 	ErrNotFound  = errors.New("stable: record not found")
 	ErrCorrupt   = errors.New("stable: corrupt log record")
 	ErrRecordBig = errors.New("stable: record exceeds size limit")
+	// ErrTornTail marks a partially-written record at the end of the log —
+	// the signature of a crash mid-append. Recovery truncates the torn
+	// record and continues; FileLog.TornTail reports it afterwards.
+	ErrTornTail = errors.New("stable: torn record at log tail")
 )
+
+// TornTailError carries the byte offset of a torn trailing record detected
+// (and truncated) during recovery. It unwraps to ErrTornTail.
+type TornTailError struct {
+	// Offset is the file offset at which the torn record began; every
+	// record before it was recovered intact.
+	Offset int64
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("stable: torn record at log tail (offset %d, truncated)", e.Offset)
+}
+
+// Unwrap makes errors.Is(e, ErrTornTail) true.
+func (e *TornTailError) Unwrap() error { return ErrTornTail }
 
 // MaxRecord bounds a single log record.
 const MaxRecord = 32 << 20

@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 
+	"rover/internal/faults"
 	"rover/internal/qrpc"
 	"rover/internal/vtime"
 	"rover/internal/wire"
@@ -39,14 +41,22 @@ type SpoolStats struct {
 	Envelopes int64
 	Frames    int64
 	Bytes     int64
+	// Fault counters (zero unless SetDown/SetFaults are used).
+	DroppedDown int64 // envelopes refused while the relay was down
+	DroppedLoss int64 // envelopes lost to the injected loss rate
+	Duplicated  int64 // envelopes delivered twice
 }
 
 // Spool is the store-and-forward mail system joining mail endpoints.
 type Spool struct {
-	mu    sync.Mutex
-	delay time.Duration
-	boxes map[string][]*Envelope
-	stats SpoolStats
+	mu       sync.Mutex
+	delay    time.Duration
+	boxes    map[string][]*Envelope
+	stats    SpoolStats
+	down     bool
+	rng      *rand.Rand // nil = no injected faults
+	dropRate float64
+	dupRate  float64
 }
 
 // NewSpool builds a spool with the given relay delay (how long mail takes
@@ -55,10 +65,39 @@ func NewSpool(delay time.Duration) *Spool {
 	return &Spool{delay: delay, boxes: make(map[string][]*Envelope)}
 }
 
+// SetDown simulates a relay outage: while down, posted envelopes vanish
+// (the mail bounced), as counted by SpoolStats.DroppedDown. Mail already
+// spooled stays spooled — the outage is at the relay, not the mailbox.
+func (sp *Spool) SetDown(down bool) {
+	sp.mu.Lock()
+	sp.down = down
+	sp.mu.Unlock()
+}
+
+// SetFaults arms seeded envelope-level faults: dropRate loses posted
+// envelopes, dupRate delivers fetched envelopes twice. Mail systems really
+// do both; the client's retry schedule and the server's at-most-once table
+// must absorb them.
+func (sp *Spool) SetFaults(seed int64, dropRate, dupRate float64) {
+	sp.mu.Lock()
+	sp.rng = rand.New(rand.NewSource(seed))
+	sp.dropRate = dropRate
+	sp.dupRate = dupRate
+	sp.mu.Unlock()
+}
+
 // Post mails an envelope; it becomes fetchable after the relay delay.
 func (sp *Spool) Post(env *Envelope, now vtime.Time) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
+	if sp.down {
+		sp.stats.DroppedDown++
+		return
+	}
+	if sp.rng != nil && sp.dropRate > 0 && sp.rng.Float64() < sp.dropRate {
+		sp.stats.DroppedLoss++
+		return
+	}
 	env.ReadyAt = now.Add(sp.delay)
 	env.Bytes = EnvelopeOverheadBytes
 	for _, f := range env.Frames {
@@ -79,6 +118,10 @@ func (sp *Spool) Fetch(addr string, now vtime.Time) []*Envelope {
 	for _, env := range box {
 		if env.ReadyAt <= now {
 			ready = append(ready, env)
+			if sp.rng != nil && sp.dupRate > 0 && sp.rng.Float64() < sp.dupRate {
+				ready = append(ready, env)
+				sp.stats.Duplicated++
+			}
 		} else {
 			rest = append(rest, env)
 		}
@@ -220,3 +263,44 @@ func (ms *MailServer) Poll(now vtime.Time) int {
 	}
 	return len(envs)
 }
+
+// MailRunner is a mail-queue runner: it owns the retry schedule a bare
+// MailClient leaves to its caller. Each Tick polls then flushes; ticks
+// that make no progress (no mail arrived and requests are still pending)
+// back off per the shared retry policy, so a dead relay is probed gently
+// instead of hammered.
+type MailRunner struct {
+	client  *MailClient
+	policy  faults.RetryPolicy
+	attempt int
+	nextAt  vtime.Time
+}
+
+// NewMailRunner builds a runner over the client with the given retry
+// policy (zero fields take the policy's defaults). The first tick is due
+// immediately.
+func NewMailRunner(client *MailClient, policy faults.RetryPolicy) *MailRunner {
+	return &MailRunner{client: client, policy: policy}
+}
+
+// Due reports whether a tick is owed at `now`.
+func (r *MailRunner) Due(now vtime.Time) bool { return now >= r.nextAt }
+
+// Tick polls and flushes once, then schedules the next tick: immediately
+// backed-off if the queue still has unanswered requests, reset to the
+// policy's initial interval otherwise. It returns how many envelopes were
+// polled in.
+func (r *MailRunner) Tick(now vtime.Time) int {
+	polled := r.client.Poll(now)
+	r.client.Flush(now)
+	if polled > 0 || r.client.client.Pending() == 0 {
+		r.attempt = 0
+	} else {
+		r.attempt++
+	}
+	r.nextAt = now.Add(r.policy.Backoff(r.attempt))
+	return polled
+}
+
+// NextAt returns when the next tick is due.
+func (r *MailRunner) NextAt() vtime.Time { return r.nextAt }

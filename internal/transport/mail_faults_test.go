@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"rover/internal/faults"
+	"rover/internal/qrpc"
+	"rover/internal/stable"
+	"rover/internal/vtime"
+)
+
+// TestMailRelayDownMidBatch: the relay dies while half a batch is queued.
+// Envelopes posted during the outage bounce; the client's next flush after
+// the relay returns re-mails everything unanswered, and the server still
+// executes each request exactly once.
+func TestMailRelayDownMidBatch(t *testing.T) {
+	c, s := newEngines(t, stable.Options{})
+	spool := NewSpool(0)
+	mc := NewMailClient(spool, "c", "s", c, nil)
+	ms := NewMailServer(spool, "s", s)
+
+	var prs []*qrpc.Promise
+	for i := 0; i < 6; i++ {
+		pr, err := c.Enqueue("echo", []byte{byte(i)}, qrpc.PriorityNormal, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prs = append(prs, pr)
+	}
+
+	spool.SetDown(true)
+	if mc.Flush(0) == 0 {
+		t.Fatal("flush posted nothing")
+	}
+	if ms.Poll(0) != 0 {
+		t.Fatal("envelope survived a dead relay")
+	}
+	if spool.Stats().DroppedDown == 0 {
+		t.Error("outage drop not counted")
+	}
+
+	// Relay back up: the retry flush re-mails the whole unanswered batch.
+	spool.SetDown(false)
+	if mc.Flush(0) == 0 {
+		t.Fatal("retry flush posted nothing")
+	}
+	ms.Poll(0)
+	mc.Poll(0)
+	for i, pr := range prs {
+		res, err, ok := pr.Result()
+		if !ok || err != nil || len(res) != 3 || res[2] != byte(i) {
+			t.Fatalf("promise %d: %q %v %v", i, res, err, ok)
+		}
+	}
+	if got := s.Stats().Executed; got != 6 {
+		t.Errorf("Executed = %d, want 6", got)
+	}
+}
+
+// TestMailSpoolSurvivesClientRestart: requests are mailed, the client
+// process dies, and a new engine recovered from the same stable log picks
+// up the replies — the spool and the log together bridge the crash.
+func TestMailSpoolSurvivesClientRestart(t *testing.T) {
+	log := stable.NewMemLog(stable.Options{})
+	c1, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "c", Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := qrpc.NewServer(qrpc.ServerConfig{ServerID: "srv"})
+	s.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		return append([]byte("e:"), req.Args...), nil
+	})
+	spool := NewSpool(10 * time.Millisecond)
+	mc1 := NewMailClient(spool, "c", "s", c1, nil)
+	ms := NewMailServer(spool, "s", s)
+
+	now := vtime.Time(0)
+	for i := 0; i < 3; i++ {
+		if _, err := c1.Enqueue("echo", []byte{byte(i)}, qrpc.PriorityNormal, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mc1.Flush(now)
+	now = now.Add(20 * time.Millisecond)
+	if ms.Poll(now) == 0 {
+		t.Fatal("server received no mail")
+	}
+
+	// "Crash": drop c1/mc1 on the floor and recover a fresh engine from the
+	// same log. The recovered engine owns the original seqs.
+	recovered := 0
+	c2, err := qrpc.NewClient(qrpc.ClientConfig{
+		ClientID:    "c",
+		Log:         log,
+		OnRecovered: func(qrpc.Request, *qrpc.Promise) { recovered++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 3 || c2.Pending() != 3 {
+		t.Fatalf("recovered %d requests, Pending = %d, want 3/3", recovered, c2.Pending())
+	}
+	mc2 := NewMailClient(spool, "c", "s", c2, nil)
+
+	// The replies mailed before the crash complete the recovered requests.
+	now = now.Add(20 * time.Millisecond)
+	if mc2.Poll(now) == 0 {
+		t.Fatal("no reply mail for the restarted client")
+	}
+	if got := c2.Pending(); got != 0 {
+		t.Errorf("Pending after replies = %d, want 0", got)
+	}
+	if got := s.Stats().Executed; got != 3 {
+		t.Errorf("Executed = %d, want 3", got)
+	}
+}
+
+// TestMailDuplicateEnvelopeDelivery: a dup-happy relay delivers every
+// envelope twice; the server's at-most-once table must suppress the
+// duplicate executions and re-serve cached replies.
+func TestMailDuplicateEnvelopeDelivery(t *testing.T) {
+	c, s := newEngines(t, stable.Options{})
+	spool := NewSpool(0)
+	spool.SetFaults(42, 0, 1.0) // duplicate every delivery
+	mc := NewMailClient(spool, "c", "s", c, nil)
+	ms := NewMailServer(spool, "s", s)
+
+	var prs []*qrpc.Promise
+	for i := 0; i < 5; i++ {
+		pr, _ := c.Enqueue("echo", []byte{byte(i)}, qrpc.PriorityNormal, 0)
+		prs = append(prs, pr)
+	}
+	mc.Flush(0)
+	ms.Poll(0)
+	mc.Poll(0)
+	for i, pr := range prs {
+		res, err, ok := pr.Result()
+		if !ok || err != nil || len(res) != 3 || res[2] != byte(i) {
+			t.Fatalf("promise %d: %q %v %v", i, res, err, ok)
+		}
+	}
+	if got := s.Stats().Executed; got != 5 {
+		t.Errorf("Executed = %d, want 5 (duplicates must not re-execute)", got)
+	}
+	if spool.Stats().Duplicated == 0 {
+		t.Error("no duplicates injected")
+	}
+}
+
+// TestMailRunnerBacksOffWhileStranded: ticks that poll nothing while
+// requests are pending space out exponentially; progress resets the pace.
+func TestMailRunnerBacksOffWhileStranded(t *testing.T) {
+	c, s := newEngines(t, stable.Options{})
+	spool := NewSpool(0)
+	mc := NewMailClient(spool, "c", "s", c, nil)
+	ms := NewMailServer(spool, "s", s)
+	runner := NewMailRunner(mc, faults.RetryPolicy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Multiplier: 2})
+
+	spool.SetDown(true)
+	if _, err := c.Enqueue("echo", []byte("x"), qrpc.PriorityNormal, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	now := vtime.Time(0)
+	var gaps []time.Duration
+	for i := 0; i < 5; i++ {
+		if !runner.Due(now) {
+			t.Fatalf("tick %d not due at its own schedule", i)
+		}
+		runner.Tick(now)
+		gaps = append(gaps, time.Duration(runner.NextAt()-now))
+		now = runner.NextAt()
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] < gaps[i-1] {
+			t.Fatalf("backoff shrank while stranded: %v", gaps)
+		}
+	}
+	if gaps[len(gaps)-1] != 80*time.Millisecond {
+		t.Errorf("backoff did not reach cap: %v", gaps)
+	}
+
+	// Relay returns: the next tick flushes, the one after polls the reply
+	// and resets the pace.
+	spool.SetDown(false)
+	runner.Tick(now) // re-mails the request
+	ms.Poll(now)
+	if polled := runner.Tick(now); polled == 0 {
+		t.Fatal("reply not polled after relay recovery")
+	}
+	if got := time.Duration(runner.NextAt() - now); got != 10*time.Millisecond {
+		t.Errorf("pace not reset after progress: next gap %v", got)
+	}
+	if got := c.Pending(); got != 0 {
+		t.Errorf("Pending = %d after recovery", got)
+	}
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"sync"
 
+	"rover/internal/faults"
 	"rover/internal/qrpc"
 	"rover/internal/vtime"
 	"rover/internal/wire"
@@ -27,6 +28,8 @@ type Pipe struct {
 	toServer  []wire.Frame
 	toClient  []wire.Frame
 	wg        sync.WaitGroup
+	csFaults  *faults.FrameFaults // client -> server injection, nil = clean
+	scFaults  *faults.FrameFaults // server -> client injection, nil = clean
 
 	cs *pipeSender // client -> server
 	sc *pipeSender // server -> client
@@ -45,12 +48,24 @@ func (s *pipeSender) SendFrame(f wire.Frame) bool {
 	if !p.connected || p.closed {
 		return false
 	}
+	out := []wire.Frame{f}
+	ff := p.scFaults
 	if s.toServer {
-		p.toServer = append(p.toServer, f)
-	} else {
-		p.toClient = append(p.toClient, f)
+		ff = p.csFaults
 	}
-	p.cond.Broadcast()
+	if ff != nil {
+		// The pipe has no delivery clock, so injected delays degrade to
+		// immediate delivery; drop/dup/reorder/corrupt apply as scheduled.
+		out, _ = ff.Apply(f)
+	}
+	if s.toServer {
+		p.toServer = append(p.toServer, out...)
+	} else {
+		p.toClient = append(p.toClient, out...)
+	}
+	if len(out) > 0 {
+		p.cond.Broadcast()
+	}
 	return true
 }
 
@@ -124,6 +139,16 @@ func (p *Pipe) SetConnected(up bool) {
 		p.client.OnDisconnect(now)
 		p.server.OnDisconnect(p.sc, now)
 	}
+}
+
+// SetFaults installs per-direction frame-fault schedules (nil = clean).
+// Chaos harnesses use it to subject the in-process transport to the same
+// drop/dup/reorder/corrupt schedule as the simulated links.
+func (p *Pipe) SetFaults(clientToServer, serverToClient *faults.FrameFaults) {
+	p.mu.Lock()
+	p.csFaults = clientToServer
+	p.scFaults = serverToClient
+	p.mu.Unlock()
 }
 
 // Kick implements ClientTransport.

@@ -3,6 +3,7 @@ package transport
 import (
 	"time"
 
+	"rover/internal/faults"
 	"rover/internal/netsim"
 	"rover/internal/qrpc"
 	"rover/internal/vtime"
@@ -22,8 +23,8 @@ type Sim struct {
 	cliEnd *simEndpoint
 	srvEnd *simEndpoint
 
-	cliSenderV *simSender
-	srvSenderV *simSender
+	cliSenderV qrpc.Sender
+	srvSenderV qrpc.Sender
 }
 
 type simEndpoint struct {
@@ -78,6 +79,14 @@ func (s *simSender) SendFrame(f wire.Frame) bool {
 // the given spec. The link starts up and the connect events fire
 // immediately (at the scheduler's current time).
 func NewSim(sched *vtime.Scheduler, spec netsim.LinkSpec, seed int64, client *qrpc.Client, server *qrpc.Server) *Sim {
+	return NewSimFaulty(sched, spec, seed, client, server, nil, nil)
+}
+
+// NewSimFaulty is NewSim with per-direction frame-fault schedules layered
+// on top of the link spec's own loss model (nil = clean). Injected delays
+// are honored on the virtual-time scheduler, so chaos schedules stay
+// deterministic.
+func NewSimFaulty(sched *vtime.Scheduler, spec netsim.LinkSpec, seed int64, client *qrpc.Client, server *qrpc.Server, cliFF, srvFF *faults.FrameFaults) *Sim {
 	s := &Sim{
 		sched:  sched,
 		duplex: netsim.NewDuplex(sched, spec, seed),
@@ -87,8 +96,9 @@ func NewSim(sched *vtime.Scheduler, spec netsim.LinkSpec, seed int64, client *qr
 	s.cliEnd = &simEndpoint{s: s, isClient: true}
 	s.srvEnd = &simEndpoint{s: s, isClient: false}
 	s.duplex.Attach(s.cliEnd, s.srvEnd)
-	s.cliSenderV = &simSender{d: s.duplex, side: netsim.SideA}
-	s.srvSenderV = &simSender{d: s.duplex, side: netsim.SideB}
+	delay := func(d time.Duration, deliver func()) { sched.After(d, deliver) }
+	s.cliSenderV = faults.WrapSender(&simSender{d: s.duplex, side: netsim.SideA}, cliFF, delay)
+	s.srvSenderV = faults.WrapSender(&simSender{d: s.duplex, side: netsim.SideB}, srvFF, delay)
 	// Fire initial connect events.
 	s.srvEnd.LinkUp()
 	s.cliEnd.LinkUp()
@@ -127,23 +137,39 @@ func (s *Sim) scheduleReadyPump() {
 // it when the link spec models frame loss; reliable links never need it.
 // It runs until the scheduler drains.
 func (s *Sim) EnableRetransmit(period, maxAge time.Duration) {
+	// A fixed period is the degenerate policy: no growth until the 8× cap,
+	// then flat. Keeping Jitter at zero preserves schedule determinism.
+	s.EnableRetransmitPolicy(faults.RetryPolicy{Initial: period, Max: period, Multiplier: 1}, maxAge)
+}
+
+// EnableRetransmitPolicy is EnableRetransmit with an exponential-backoff
+// retry policy: consecutive ticks that find stale requests space out per
+// the policy (a congested or partitioned link is not helped by hammering),
+// and any tick that finds none resets the backoff.
+func (s *Sim) EnableRetransmitPolicy(p faults.RetryPolicy, maxAge time.Duration) {
+	attempt := 0
 	var tick func()
 	tick = func() {
-		if n := s.client.RetryStale(s.sched.Now(), maxAge); n > 0 && s.duplex.Up() {
-			// Requests went stale: the session Hello itself may have been
-			// lost, so cycle the client end of the session. OnConnect
-			// re-sends the handshake and redelivers everything unreplied;
-			// the server's reply cache absorbs the duplicates.
-			s.cliEnd.LinkDown()
-			s.cliEnd.LinkUp()
+		if n := s.client.RetryStale(s.sched.Now(), maxAge); n > 0 {
+			if s.duplex.Up() {
+				// Requests went stale: the session Hello itself may have been
+				// lost, so cycle the client end of the session. OnConnect
+				// re-sends the handshake and redelivers everything unreplied;
+				// the server's reply cache absorbs the duplicates.
+				s.cliEnd.LinkDown()
+				s.cliEnd.LinkUp()
+			}
+			attempt++
+		} else {
+			attempt = 0
 		}
 		// Only re-arm while there is something to wait for; otherwise the
 		// scheduler would never drain.
 		if s.client.Pending() > 0 {
-			s.sched.After(period, tick)
+			s.sched.After(p.Backoff(attempt), tick)
 		}
 	}
-	s.sched.After(period, tick)
+	s.sched.After(p.Backoff(0), tick)
 }
 
 // Connected implements ClientTransport.

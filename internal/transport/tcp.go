@@ -3,10 +3,12 @@ package transport
 import (
 	"bufio"
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"rover/internal/faults"
 	"rover/internal/qrpc"
 	"rover/internal/vtime"
 	"rover/internal/wire"
@@ -65,9 +67,11 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	defer t.wg.Done()
 	sender := &tcpSender{conn: conn}
 	t.srv.OnConnect(sender, t.clock.Now())
-	r := bufio.NewReaderSize(conn, 64<<10)
+	// A StreamReader drops corrupt frames and resyncs instead of tearing
+	// the connection down: one flipped bit costs one retransmission.
+	r := wire.NewStreamReader(bufio.NewReaderSize(conn, 64<<10))
 	for {
-		f, err := wire.ReadFrame(r)
+		f, err := r.Next()
 		if err != nil {
 			break
 		}
@@ -122,71 +126,85 @@ func (s *tcpSender) SendFrame(f wire.Frame) bool {
 // reconnecting with backoff after failures — the roving host's view of an
 // intermittently reachable network.
 type TCPClient struct {
-	addr    string
-	client  *qrpc.Client
-	clock   vtime.Clock
-	backoff time.Duration
-	maxBack time.Duration
+	addr        string
+	client      *qrpc.Client
+	clock       vtime.Clock
+	policy      faults.RetryPolicy
+	dialTimeout time.Duration
 
-	mu     sync.Mutex
-	conn   net.Conn
-	sender *tcpSender
-	closed bool
-	wg     sync.WaitGroup
-	wake   chan struct{}
+	mu       sync.Mutex
+	conn     net.Conn
+	sender   *tcpSender
+	closed   bool
+	attempts int // total dial attempts (tests poll it instead of sleeping)
+	wg       sync.WaitGroup
+	wake     chan struct{}
 }
 
-// TCPClientOptions tune reconnection behavior.
+// TCPClientOptions tune connection behavior.
 type TCPClientOptions struct {
 	// InitialBackoff is the first retry delay (default 50ms).
 	InitialBackoff time.Duration
 	// MaxBackoff caps the exponential retry delay (default 5s).
 	MaxBackoff time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// BackoffJitter is the proportional jitter on the reconnect backoff;
+	// zero selects faults.DefaultJitter, negative disables jitter. Jitter
+	// keeps many clients from thundering-herding a restarted server.
+	BackoffJitter float64
 }
 
 // DialTCP starts maintaining a connection from the client engine to addr.
 // It returns immediately; connection happens in the background (the whole
 // point of QRPC is that the application need not wait).
 func DialTCP(addr string, client *qrpc.Client, clock vtime.Clock, opts TCPClientOptions) *TCPClient {
-	if opts.InitialBackoff <= 0 {
-		opts.InitialBackoff = 50 * time.Millisecond
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
 	}
-	if opts.MaxBackoff <= 0 {
-		opts.MaxBackoff = 5 * time.Second
+	jitter := opts.BackoffJitter
+	if jitter == 0 {
+		jitter = faults.DefaultJitter
+	} else if jitter < 0 {
+		jitter = 0
 	}
 	t := &TCPClient{
-		addr:    addr,
-		client:  client,
-		clock:   clockOrDefault(clock),
-		backoff: opts.InitialBackoff,
-		maxBack: opts.MaxBackoff,
-		wake:    make(chan struct{}, 1),
+		addr:   addr,
+		client: client,
+		clock:  clockOrDefault(clock),
+		policy: faults.RetryPolicy{
+			Initial: opts.InitialBackoff,
+			Max:     opts.MaxBackoff,
+			Jitter:  jitter,
+		},
+		dialTimeout: opts.DialTimeout,
+		wake:        make(chan struct{}, 1),
 	}
 	t.wg.Add(1)
-	go t.loop(opts.InitialBackoff)
+	go t.loop()
 	return t
 }
 
-func (t *TCPClient) loop(initialBackoff time.Duration) {
+func (t *TCPClient) loop() {
 	defer t.wg.Done()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fails := 0 // consecutive dial failures, drives the backoff
 	for {
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
 			return
 		}
+		t.attempts++
 		t.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", t.addr, 5*time.Second)
+		conn, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
 		if err != nil {
-			t.sleep()
-			t.mu.Lock()
-			if t.backoff *= 2; t.backoff > t.maxBack {
-				t.backoff = t.maxBack
-			}
-			t.mu.Unlock()
+			t.sleep(t.policy.JitteredBackoff(fails, rng))
+			fails++
 			continue
 		}
+		fails = 0
 		sender := &tcpSender{conn: conn}
 		t.mu.Lock()
 		if t.closed {
@@ -196,13 +214,14 @@ func (t *TCPClient) loop(initialBackoff time.Duration) {
 		}
 		t.conn = conn
 		t.sender = sender
-		t.backoff = initialBackoff
 		t.mu.Unlock()
 
 		t.client.OnConnect(sender, t.clock.Now())
-		r := bufio.NewReaderSize(conn, 64<<10)
+		// Corrupt frames are dropped and resynced past, not fatal; only
+		// real I/O errors end the session.
+		r := wire.NewStreamReader(bufio.NewReaderSize(conn, 64<<10))
 		for {
-			f, err := wire.ReadFrame(r)
+			f, err := r.Next()
 			if err != nil {
 				break
 			}
@@ -217,17 +236,22 @@ func (t *TCPClient) loop(initialBackoff time.Duration) {
 	}
 }
 
-// sleep waits for the backoff period or an early wake/close.
-func (t *TCPClient) sleep() {
-	t.mu.Lock()
-	d := t.backoff
-	t.mu.Unlock()
+// sleep waits for d or an early wake/close.
+func (t *TCPClient) sleep(d time.Duration) {
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case <-timer.C:
 	case <-t.wake:
 	}
+}
+
+// DialAttempts returns how many connection attempts have been made. Tests
+// poll it with a deadline instead of sleeping fixed intervals.
+func (t *TCPClient) DialAttempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
 }
 
 // Kick implements ClientTransport.

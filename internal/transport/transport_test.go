@@ -28,6 +28,19 @@ func newEngines(t *testing.T, logOpts stable.Options) (*qrpc.Client, *qrpc.Serve
 	return c, s
 }
 
+// waitUntil polls cond to true within timeout — deadline-bounded waiting
+// instead of fixed sleeps, which flake under load.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func waitResult(t *testing.T, p *qrpc.Promise) []byte {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -275,7 +288,9 @@ func TestTCPEnqueueBeforeServerUp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(30 * time.Millisecond)
+	// Let at least two dial attempts fail before checking the promise is
+	// still pending (polling beats a fixed sleep under CI load).
+	waitUntil(t, 5*time.Second, "two failed dial attempts", func() bool { return cli.DialAttempts() >= 2 })
 	if pr.Ready() {
 		t.Fatal("completed with no server")
 	}
@@ -307,9 +322,9 @@ func TestTCPServerRestart(t *testing.T) {
 	// reply cache survive in the engine, as in a server process that kept
 	// its state).
 	srv.Close()
+	waitUntil(t, 5*time.Second, "client to notice the dead server", func() bool { return !cli.Connected() })
 	pr2, _ := c.Enqueue("echo", []byte("2"), qrpc.PriorityNormal, 0)
 	cli.Kick()
-	time.Sleep(20 * time.Millisecond)
 	srv2, err := ListenTCP(addr, s, nil)
 	if err != nil {
 		t.Fatal(err)

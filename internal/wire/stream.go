@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// StreamReader reads frames from a byte stream, treating corruption as
+// frame loss rather than stream death. A frame whose CRC fails is dropped
+// (QRPC redelivery recovers it, exactly as on a lossy radio link); bytes
+// that do not start a frame are scanned past until the next magic. Only
+// real I/O errors and end-of-stream terminate the reader.
+//
+// The connection-based transports use it so that a single flipped bit on
+// the wire costs one frame and a retransmission, not a reconnect cycle.
+type StreamReader struct {
+	r *bufio.Reader
+	// SkippedFrames counts frames dropped for failed validation.
+	SkippedFrames int64
+	// SkippedBytes counts bytes scanned past while hunting for frame magic.
+	SkippedBytes int64
+}
+
+// NewStreamReader wraps r.
+func NewStreamReader(r *bufio.Reader) *StreamReader {
+	return &StreamReader{r: r}
+}
+
+// Next returns the next valid frame. It returns io.EOF at a clean end of
+// stream and io.ErrUnexpectedEOF if the stream ends inside a frame.
+func (s *StreamReader) Next() (Frame, error) {
+	for {
+		hdr, err := s.r.Peek(2)
+		if err != nil {
+			if len(hdr) == 0 {
+				return Frame{}, err // clean EOF (or a real I/O error)
+			}
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+		if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+			// Not at a frame boundary: resync byte by byte.
+			if _, err := s.r.Discard(1); err != nil {
+				return Frame{}, err
+			}
+			s.SkippedBytes++
+			continue
+		}
+		f, err := ReadFrame(s.r)
+		if err == nil {
+			return f, nil
+		}
+		switch {
+		case errors.Is(err, ErrBadChecksum), errors.Is(err, ErrBadVersion), errors.Is(err, ErrFrameSize):
+			// The frame was damaged in flight (or its length field was, in
+			// which case the bytes consumed leave us mid-stream — the magic
+			// scan above recovers the boundary). Treat it as loss.
+			s.SkippedFrames++
+			continue
+		case errors.Is(err, ErrBadMagic):
+			// Unreachable after the Peek, but harmless: resume scanning.
+			s.SkippedFrames++
+			continue
+		default:
+			return Frame{}, err // torn stream or I/O failure
+		}
+	}
+}

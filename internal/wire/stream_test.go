@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestStreamReaderSkipsCorruptFrames(t *testing.T) {
+	good1 := Frame{Type: FrameRequest, Payload: []byte("first")}
+	bad := EncodeFrame(Frame{Type: FrameRequest, Payload: []byte("damaged")})
+	bad[len(bad)-1] ^= 0xFF // break the CRC
+	good2 := Frame{Type: FrameReply, Payload: []byte("second")}
+
+	var stream []byte
+	stream = AppendFrame(stream, good1)
+	stream = append(stream, bad...)
+	stream = AppendFrame(stream, good2)
+
+	s := NewStreamReader(bufio.NewReader(bytes.NewReader(stream)))
+	f1, err := s.Next()
+	if err != nil || string(f1.Payload) != "first" {
+		t.Fatalf("frame 1: %v, %q", err, f1.Payload)
+	}
+	f2, err := s.Next()
+	if err != nil || string(f2.Payload) != "second" {
+		t.Fatalf("frame 2 after corrupt frame: %v, %q", err, f2.Payload)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+	if s.SkippedFrames != 1 {
+		t.Errorf("SkippedFrames = %d, want 1", s.SkippedFrames)
+	}
+}
+
+func TestStreamReaderResyncsPastGarbage(t *testing.T) {
+	good1 := Frame{Type: FrameRequest, Payload: []byte("alpha")}
+	good2 := Frame{Type: FrameAck, Payload: []byte("omega")}
+	var stream []byte
+	stream = AppendFrame(stream, good1)
+	stream = append(stream, []byte("not a frame at all")...)
+	stream = AppendFrame(stream, good2)
+
+	s := NewStreamReader(bufio.NewReader(bytes.NewReader(stream)))
+	f1, err := s.Next()
+	if err != nil || string(f1.Payload) != "alpha" {
+		t.Fatalf("frame 1: %v, %q", err, f1.Payload)
+	}
+	f2, err := s.Next()
+	if err != nil || string(f2.Payload) != "omega" {
+		t.Fatalf("frame 2 after garbage: %v, %q", err, f2.Payload)
+	}
+	if s.SkippedBytes == 0 {
+		t.Error("expected skipped bytes while resyncing")
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestStreamReaderCorruptLengthRecovers(t *testing.T) {
+	// Corrupt the length varint of an interior frame: the reader consumes a
+	// wrong byte count, desyncs, and must still find the following frame.
+	mid := EncodeFrame(Frame{Type: FrameRequest, Payload: bytes.Repeat([]byte("x"), 40)})
+	mid[4] ^= 0x20 // length byte (payload < 128, so offset 4 is the 1-byte varint): 40 -> 8
+	var stream []byte
+	stream = AppendFrame(stream, Frame{Type: FrameRequest, Payload: []byte("head")})
+	stream = append(stream, mid...)
+	stream = AppendFrame(stream, Frame{Type: FrameReply, Payload: []byte("tail")})
+	stream = AppendFrame(stream, Frame{Type: FrameReply, Payload: []byte("last")})
+
+	s := NewStreamReader(bufio.NewReader(bytes.NewReader(stream)))
+	var got []string
+	for {
+		f, err := s.Next()
+		if err != nil {
+			break
+		}
+		got = append(got, string(f.Payload))
+	}
+	if len(got) < 2 || got[0] != "head" || got[len(got)-1] != "last" {
+		t.Fatalf("recovered frames %q; want head...last", got)
+	}
+}
+
+func TestStreamReaderTornTail(t *testing.T) {
+	full := EncodeFrame(Frame{Type: FrameRequest, Payload: []byte("whole")})
+	var stream []byte
+	stream = AppendFrame(stream, Frame{Type: FrameRequest, Payload: []byte("ok")})
+	stream = append(stream, full[:len(full)-3]...) // torn mid-frame
+
+	s := NewStreamReader(bufio.NewReader(bytes.NewReader(stream)))
+	if f, err := s.Next(); err != nil || string(f.Payload) != "ok" {
+		t.Fatalf("frame 1: %v, %q", err, f.Payload)
+	}
+	if _, err := s.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn tail: want ErrUnexpectedEOF, got %v", err)
+	}
+}

@@ -161,6 +161,11 @@ type ClientOptions struct {
 	KeyHex string
 	// CacheBytes bounds the object cache (<= 0 unbounded).
 	CacheBytes int
+	// MaxPendingQRPC bounds the pending request queue (<= 0 unbounded):
+	// past it, prefetches are shed; past twice it, every new request fails
+	// fast with access.ErrShedLoad instead of growing the stable log while
+	// the link or log is failing.
+	MaxPendingQRPC int
 	// Guarantees selects session guarantees; the zero value means "all
 	// four". Set NoSessionGuarantees to disable them entirely.
 	Guarantees Guarantee
@@ -250,6 +255,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		Kick:       func() { c.kick() },
 		Clock:      clock,
 		CacheBytes: opts.CacheBytes,
+		MaxPending: opts.MaxPendingQRPC,
 		Guarantees: guarantees,
 		AutoExport: !opts.NoAutoExport,
 		Stdout:     opts.Stdout,
