@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"rover/internal/qrpc"
@@ -13,21 +14,24 @@ import (
 )
 
 // logEnqueueRun measures N enqueues against a real file log with the given
-// options, returning elapsed wall time and bytes written.
-func logEnqueueRun(n, payloadBytes int, opts stable.Options, compressible bool) (time.Duration, int64, error) {
+// options, spread over `workers` concurrent goroutines (1 = serial),
+// returning elapsed wall time, bytes written, and fsync count. Concurrency
+// is what group commit amortizes: concurrent appenders coalesce onto a
+// shared in-flight fsync, so the same N enqueues cost far fewer flushes.
+func logEnqueueRun(n, payloadBytes, workers int, opts stable.Options, compressible bool) (time.Duration, int64, int64, error) {
 	dir, err := os.MkdirTemp("", "rover-ablate")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer os.RemoveAll(dir)
 	fl, err := stable.OpenFileLog(filepath.Join(dir, "wal"), opts)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer fl.Close()
 	eng, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "ablate", Log: fl})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	payload := make([]byte, payloadBytes)
 	if compressible {
@@ -42,14 +46,37 @@ func logEnqueueRun(n, payloadBytes int, opts stable.Options, compressible bool) 
 			payload[i] = byte(x)
 		}
 	}
-	t0 := time.Now()
-	for i := 0; i < n; i++ {
-		if _, err := eng.Enqueue("bench.echo", payload, qrpc.PriorityNormal, 0); err != nil {
-			return 0, 0, err
-		}
+	if workers < 1 {
+		workers = 1
 	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		share := n / workers
+		if w < n%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				if _, err := eng.Enqueue("bench.echo", payload, qrpc.PriorityNormal, 0); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(share)
+	}
+	wg.Wait()
 	elapsed := time.Since(t0)
-	return elapsed, fl.Stats().BytesWritten, nil
+	select {
+	case err := <-errs:
+		return 0, 0, 0, err
+	default:
+	}
+	st := fl.Stats()
+	return elapsed, st.BytesWritten, st.Syncs, nil
 }
 
 // ExpACompress measures the log compression the paper's prototype omitted
@@ -67,7 +94,7 @@ func ExpACompress(o Options) (*Table, error) {
 		{"flate, compressible payload", true, true},
 		{"flate, incompressible payload", true, false},
 	} {
-		elapsed, bytes, err := logEnqueueRun(n, payload, stable.Options{Compress: mode.compress}, mode.comp)
+		elapsed, bytes, _, err := logEnqueueRun(n, payload, 1, stable.Options{Compress: mode.compress}, mode.comp)
 		if err != nil {
 			return nil, err
 		}
@@ -87,20 +114,25 @@ func ExpACompress(o Options) (*Table, error) {
 }
 
 // ExpAGroup measures the group commit the paper cites as the stable-store
-// optimization its prototype omitted.
+// optimization its prototype omitted. The modern protocol never weakens
+// durability: concurrent appenders coalesce onto one in-flight fsync, so
+// the win appears under concurrency while a lone appender still pays one
+// flush per enqueue. NoSync bounds what eliminating the flush entirely
+// would buy (unsafely).
 func ExpAGroup(o Options) (*Table, error) {
 	n := o.scale(300, 20)
 	const payload = 128
 	var rows [][]string
 	for _, mode := range []struct {
-		name string
-		opts stable.Options
+		name    string
+		workers int
+		opts    stable.Options
 	}{
-		{"fsync per append (paper prototype)", stable.Options{}},
-		{"group commit (batch of 32)", stable.Options{GroupCommit: 32}},
-		{"no sync (unsafe bound)", stable.Options{NoSync: true}},
+		{"fsync per append, 1 appender (paper prototype)", 1, stable.Options{}},
+		{"group commit, 8 concurrent appenders", 8, stable.Options{}},
+		{"no sync (unsafe bound)", 1, stable.Options{NoSync: true}},
 	} {
-		elapsed, _, err := logEnqueueRun(n, payload, mode.opts, true)
+		elapsed, _, syncs, err := logEnqueueRun(n, payload, mode.workers, mode.opts, true)
 		if err != nil {
 			return nil, err
 		}
@@ -108,14 +140,15 @@ func ExpAGroup(o Options) (*Table, error) {
 			mode.name,
 			fmt.Sprintf("%.1f µs", float64(elapsed.Nanoseconds())/float64(n)/1000),
 			fmt.Sprintf("%.0f/s", float64(n)/elapsed.Seconds()),
+			fmt.Sprintf("%d", syncs),
 		})
 	}
 	return &Table{
 		ID:      "AGROUP",
-		Title:   fmt.Sprintf("Ablation: group commit on the QRPC enqueue path (%d enqueues)", n),
-		Columns: []string{"mode", "enqueue latency (each)", "throughput"},
+		Title:   fmt.Sprintf("Ablation: group commit on the QRPC enqueue path (%d enqueues, every one durable)", n),
+		Columns: []string{"mode", "enqueue latency (each)", "throughput", "fsyncs"},
 		Rows:    rows,
-		Notes:   []string{"group commit weakens per-request durability to once per batch; Close still syncs the tail"},
+		Notes:   []string{"group commit coalesces concurrent appenders onto one in-flight fsync; durability is never deferred"},
 	}, nil
 }
 

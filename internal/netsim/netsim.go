@@ -91,13 +91,18 @@ type Endpoint interface {
 	LinkDown()
 }
 
-// Stats counts link activity, per direction A->B and B->A.
+// Stats counts link activity, per direction A->B and B->A. Frames* counts
+// physical transmissions (a coalesced FrameBatch is one transmission, just
+// as it is one syscall on TCP); Logical* counts the application frames
+// inside them, so the bench harness can report both amortization and true
+// message volume.
 type Stats struct {
-	FramesAB, FramesBA int64
-	BytesAB, BytesBA   int64 // on-the-wire bytes including overhead
-	DroppedDown        int64 // send attempts while the link was down
-	DroppedLoss        int64 // frames lost to random loss
-	DroppedMidFlight   int64 // frames lost because the link went down in flight
+	FramesAB, FramesBA   int64
+	LogicalAB, LogicalBA int64 // application frames (batches count their contents)
+	BytesAB, BytesBA     int64 // on-the-wire bytes including overhead
+	DroppedDown          int64 // send attempts while the link was down
+	DroppedLoss          int64 // frames lost to random loss
+	DroppedMidFlight     int64 // frames lost because the link went down in flight
 }
 
 // Side selects a duplex endpoint.
@@ -174,11 +179,14 @@ func (d *Duplex) Send(from Side, f wire.Frame) bool {
 		return false
 	}
 	onWire := int64(wire.EncodedFrameSize(len(f.Payload)) + d.spec.FrameOverhead)
+	logical := int64(wire.LogicalFrames(f))
 	if from == SideA {
 		d.stats.FramesAB++
+		d.stats.LogicalAB += logical
 		d.stats.BytesAB += onWire
 	} else {
 		d.stats.FramesBA++
+		d.stats.LogicalBA += logical
 		d.stats.BytesBA += onWire
 	}
 	if d.spec.LossRate > 0 && d.rng.Float64() < d.spec.LossRate {
@@ -190,18 +198,50 @@ func (d *Duplex) Send(from Side, f wire.Frame) bool {
 	if d.busy[from] > txStart {
 		txStart = d.busy[from]
 	}
-	txEnd := txStart.Add(d.spec.TransmitTime(len(f.Payload)))
+	total := d.spec.TransmitTime(len(f.Payload))
+	txEnd := txStart.Add(total)
 	d.busy[from] = txEnd
-	arrival := txEnd.Add(d.spec.Latency)
 	to := 1 - from
 	epoch := d.epoch
-	d.sched.At(arrival, func() {
-		if !d.up || d.epoch != epoch {
-			d.stats.DroppedMidFlight++
-			return
+	deliver := func(sub wire.Frame, at vtime.Time) {
+		d.sched.At(at, func() {
+			if !d.up || d.epoch != epoch {
+				d.stats.DroppedMidFlight++
+				return
+			}
+			d.ends[to].DeliverFrame(sub)
+		})
+	}
+	// A batch frame is one physical transmission (one frame overhead, one
+	// busy-channel reservation) but its sub-frames stream off the link as
+	// their bytes arrive — exactly as a TCP receiver decodes the first
+	// message of a large write while the rest is still in flight. Delivering
+	// the whole batch at txEnd instead would impose head-of-line blocking
+	// the real byte stream does not have, defeating the network scheduler's
+	// priority ordering on slow links.
+	if f.Type == wire.FrameBatch {
+		if subs, err := wire.UnbatchFrames(f.Payload); err == nil && len(subs) > 0 {
+			sizes := make([]int64, len(subs))
+			var sum int64
+			for i, sub := range subs {
+				sizes[i] = int64(wire.EncodedFrameSize(len(sub.Payload)))
+				sum += sizes[i]
+			}
+			var cum int64
+			for i, sub := range subs {
+				cum += sizes[i]
+				// Apportion the batch's serialization time across sub-frames
+				// by encoded size; the last sub-frame lands exactly at txEnd.
+				at := txEnd
+				if sum > 0 && cum < sum {
+					at = txStart.Add(time.Duration(int64(total) * cum / sum))
+				}
+				deliver(sub, at.Add(d.spec.Latency))
+			}
+			return true
 		}
-		d.ends[to].DeliverFrame(f)
-	})
+	}
+	deliver(f, txEnd.Add(d.spec.Latency))
 	return true
 }
 

@@ -1,0 +1,109 @@
+package qrpc
+
+import (
+	"testing"
+
+	"rover/internal/wire"
+)
+
+// TestAckPiggybacksOnRequestBatch pins the frame-coalescing contract: a
+// pump cycle packs the pending ack list and every ready request into ONE
+// FrameBatch — acks ride in front, requests follow in priority order — so
+// the transport pays a single write for the whole cycle.
+func TestAckPiggybacksOnRequestBatch(t *testing.T) {
+	h := newHarness(t, ClientConfig{}, ServerConfig{ServerID: "srv"})
+	h.server.Register("echo", echoHandler)
+	h.connect()
+
+	p1, err := h.client.Enqueue("echo", []byte("one"), PriorityNormal, h.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the first request to the server by hand so the reply is in
+	// flight but not yet delivered.
+	for len(h.cs.queue) > 0 {
+		f := h.cs.queue[0]
+		h.cs.queue = h.cs.queue[1:]
+		h.server.OnFrame(h.sc, f, h.now)
+	}
+	if len(h.sc.queue) == 0 {
+		t.Fatal("no reply queued")
+	}
+	// Refuse the client's sends: the reply's ack must stay pending instead
+	// of going out on its own (a dead link mid-session).
+	h.cs.refuse = true
+	for len(h.sc.queue) > 0 {
+		f := h.sc.queue[0]
+		h.sc.queue = h.sc.queue[1:]
+		h.client.OnFrame(f, h.now)
+	}
+	if res, err, ok := p1.Result(); !ok || err != nil || string(res) != "echo:one" {
+		t.Fatalf("p1 = %q, %v, %v", res, err, ok)
+	}
+	// Two more requests queue up while the link refuses traffic.
+	p2, err := h.client.Enqueue("echo", []byte("two"), PriorityNormal, h.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := h.client.Enqueue("echo", []byte("three"), PriorityNormal, h.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Link comes back: one pump must emit exactly one frame — a batch of
+	// [ack, request, request].
+	h.cs.refuse = false
+	sentBefore := h.cs.sent
+	h.client.Pump(h.now)
+	if got := h.cs.sent - sentBefore; got != 1 {
+		t.Fatalf("pump sent %d frames, want 1 coalesced batch", got)
+	}
+	f := h.cs.queue[len(h.cs.queue)-1]
+	if f.Type != wire.FrameBatch {
+		t.Fatalf("pump emitted %v, want FrameBatch", f.Type)
+	}
+	subs, err := wire.UnbatchFrames(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("batch carries %d frames, want 3", len(subs))
+	}
+	if subs[0].Type != wire.FrameAck {
+		t.Fatalf("batch[0] = %v, want the piggybacked ack in front", subs[0].Type)
+	}
+	var ack Ack
+	if err := wire.Unmarshal(subs[0].Payload, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if len(ack.Seqs) != 1 || ack.Seqs[0] != p1.Seq() {
+		t.Fatalf("ack seqs = %v, want [%d]", ack.Seqs, p1.Seq())
+	}
+	for i, want := range []uint64{p2.Seq(), p3.Seq()} {
+		sf := subs[i+1]
+		if sf.Type != wire.FrameRequest {
+			t.Fatalf("batch[%d] = %v, want FrameRequest", i+1, sf.Type)
+		}
+		var req Request
+		if err := wire.Unmarshal(sf.Payload, &req); err != nil {
+			t.Fatal(err)
+		}
+		if req.Seq != want {
+			t.Fatalf("batch[%d] seq = %d, want %d (enqueue order)", i+1, req.Seq, want)
+		}
+	}
+	if got := h.client.Stats().BatchesSent; got < 1 {
+		t.Errorf("ClientStats.BatchesSent = %d, want >= 1", got)
+	}
+
+	// The batch must land as three ordinary frames server-side.
+	h.settle()
+	for _, p := range []*Promise{p2, p3} {
+		if res, err, ok := p.Result(); !ok || err != nil || len(res) == 0 {
+			t.Fatalf("follow-up result = %q, %v, %v", res, err, ok)
+		}
+	}
+	if got := h.server.Stats().Executed; got != 3 {
+		t.Errorf("Executed = %d, want 3", got)
+	}
+}

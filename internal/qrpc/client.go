@@ -58,6 +58,7 @@ const (
 
 type pendingReq struct {
 	req     Request
+	enc     []byte // cached wire encoding of req; resends must not re-marshal
 	logID   uint64
 	promise *Promise
 	state   reqState
@@ -86,11 +87,23 @@ type Client struct {
 	// it may have been used by some incarnation of this client.
 	seqFloor  uint64
 	metaLogID uint64
+	// inflight holds sequence numbers whose Enqueue is between seq
+	// assignment and registration in pend (the log append runs outside the
+	// engine lock). Hello's LowSeq must not advance past them: a connect
+	// racing an enqueue would otherwise make the server drop the request as
+	// "below LowSeq" forever.
+	inflight map[uint64]struct{}
 	// queuedCount/sentCount track request states incrementally so Status
 	// is O(1); scanning the pending map per enqueue made deep queues
 	// quadratic (caught by BenchmarkEnqueueMemLog).
 	queuedCount int
 	sentCount   int
+	// pumpLocked scratch, reused across pumps (only touched under mu; no
+	// transport retains the slices — single frames pass by value and
+	// BatchFrames copies payloads into a fresh batch).
+	frameScratch []wire.Frame
+	batchScratch []*pendingReq
+	deferScratch []*pendingReq
 }
 
 // NewClient builds a client engine, replaying any requests that survive in
@@ -106,6 +119,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg:       cfg,
 		nextSeq:   1,
 		pend:      make(map[uint64]*pendingReq),
+		inflight:  make(map[uint64]struct{}),
 		flushCost: cfg.Log.Cost(),
 	}
 	type recovered struct {
@@ -191,14 +205,28 @@ func (c *Client) Enqueue(service string, args []byte, pri Priority, now vtime.Ti
 		c.seqFloor = newFloor
 	}
 	c.nextSeq++
+	c.inflight[seq] = struct{}{}
+	c.mu.Unlock()
+
+	// The log append happens OUTSIDE the engine lock so that concurrent
+	// Enqueues can coalesce onto a single group-commit fsync in the stable
+	// log (see stable.FileLog). This is safe: the request cannot be
+	// transmitted (and so no reply can race the bookkeeping below) until it
+	// is registered in c.pend and pumped, which happens after the append.
 	req := Request{Seq: seq, Priority: pri, Service: service, Args: args}
-	logID, err := c.cfg.Log.Append(encodeRequestRecord(&req))
+	scratch := wire.GetBuffer()
+	scratch.PutByte(recRequest)
+	req.MarshalWire(scratch)
+	logID, err := c.cfg.Log.Append(scratch.Bytes())
+	wire.PutBuffer(scratch)
 	if err != nil {
 		// Do NOT roll nextSeq back: a "dirty" append failure may have
 		// durably written the record before erroring (crash-before-ack).
 		// Reusing seq for the next enqueue would then collide with the
 		// resurrected request after recovery. Sequence gaps are harmless —
 		// the durable chunk reservation above already creates them.
+		c.mu.Lock()
+		delete(c.inflight, seq)
 		c.mu.Unlock()
 		return nil, fmt.Errorf("qrpc: stable log append: %w", err)
 	}
@@ -209,6 +237,11 @@ func (c *Client) Enqueue(service string, args []byte, pri Priority, now vtime.Ti
 		readyAt: now.Add(c.flushCost),
 		heapIdx: -1,
 	}
+
+	c.mu.Lock()
+	delete(c.inflight, seq)
+	// A Close that raced the append is harmless: the record is durable and
+	// replays next incarnation; registering it here just keeps Status exact.
 	c.pend[seq] = pr
 	heap.Push(&c.queue, pr)
 	c.queuedCount++
@@ -337,11 +370,29 @@ func (c *Client) NextReadyAt(now vtime.Time) (vtime.Time, bool) {
 	return best, found
 }
 
-// OnFrame processes a frame from the transport.
+// OnFrame processes a frame from the transport. Batch frames are unpacked
+// and their sub-frames processed in order, with the reply-triggered pump
+// deferred to the end of the batch so that one batch of replies produces
+// one piggybacked ack frame instead of N.
 func (c *Client) OnFrame(f wire.Frame, now vtime.Time) {
+	if f.Type == wire.FrameBatch {
+		subs, err := wire.UnbatchFrames(f.Payload)
+		if err != nil {
+			return
+		}
+		for _, sf := range subs {
+			c.onFrame(sf, now, false)
+		}
+		c.Pump(now)
+		return
+	}
+	c.onFrame(f, now, true)
+}
+
+func (c *Client) onFrame(f wire.Frame, now vtime.Time, pump bool) {
 	switch f.Type {
 	case wire.FrameReply:
-		c.onReply(f.Payload, now)
+		c.onReply(f.Payload, now, pump)
 	case wire.FrameCallback:
 		var cb Callback
 		if err := wire.Unmarshal(f.Payload, &cb); err != nil {
@@ -371,7 +422,7 @@ func (c *Client) OnFrame(f wire.Frame, now vtime.Time) {
 	}
 }
 
-func (c *Client) onReply(payload []byte, now vtime.Time) {
+func (c *Client) onReply(payload []byte, now vtime.Time, pump bool) {
 	var rep Reply
 	if err := wire.Unmarshal(payload, &rep); err != nil {
 		return
@@ -383,7 +434,9 @@ func (c *Client) onReply(payload []byte, now vtime.Time) {
 		// lost). Re-ack so the server can clear its cache.
 		c.stats.Duplicates++
 		c.acks = append(c.acks, rep.Seq)
-		c.pumpLocked(now)
+		if pump {
+			c.pumpLocked(now)
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -402,7 +455,9 @@ func (c *Client) onReply(payload []byte, now vtime.Time) {
 	}
 	c.stats.Replies++
 	c.acks = append(c.acks, rep.Seq)
-	c.pumpLocked(now)
+	if pump {
+		c.pumpLocked(now)
+	}
 	status := c.statusLocked()
 	c.mu.Unlock()
 
@@ -414,61 +469,118 @@ func (c *Client) onReply(payload []byte, now vtime.Time) {
 	c.notify(status)
 }
 
+// maxPumpBatchBytes caps how much request payload one pump packs into a
+// single batch frame; a deeper queue drains as several batches rather than
+// one giant frame.
+const maxPumpBatchBytes = 256 << 10
+
 // pumpLocked drains ready requests to the transport in priority order.
+// Everything sendable in one pass — the pending ack list piggybacked in
+// front, then ready requests — is coalesced into a single FrameBatch, so a
+// pump cycle costs the transport one write instead of one per message.
 func (c *Client) pumpLocked(now vtime.Time) {
 	if !c.connected || c.sender == nil || c.authBad {
 		return
 	}
-	// Flush acks first; they are tiny and unblock server state.
-	if len(c.acks) > 0 {
-		ack := &Ack{Seqs: c.acks}
-		if c.sender.SendFrame(wire.Frame{Type: wire.FrameAck, Payload: wire.Marshal(ack)}) {
-			c.stats.AcksSent += int64(len(c.acks))
+	for {
+		frames := c.frameScratch[:0]
+		ackCount := len(c.acks)
+		if ackCount > 0 {
+			// Acks ride in front of the batch; they are tiny and unblock
+			// server reply-cache state before the new requests land.
+			frames = append(frames, wire.Frame{Type: wire.FrameAck, Payload: wire.Marshal(&Ack{Seqs: c.acks})})
+		}
+		deferred, batch := c.deferScratch[:0], c.batchScratch[:0]
+		batchBytes := 0
+		for c.queue.Len() > 0 && batchBytes < maxPumpBatchBytes {
+			pr := c.queue[0]
+			// readyAt only means something when a flush cost is modeled (the
+			// virtual-time simulators, where one scheduler is the single time
+			// base). With a real log the flush was paid synchronously inside
+			// Enqueue, and comparing timestamps would wrongly defer requests
+			// whenever caller and transport clocks have different epochs.
+			if c.flushCost > 0 && pr.readyAt > now {
+				// Not yet durable under virtual time; skip it without
+				// blocking others (pop and re-push after the loop).
+				heap.Pop(&c.queue)
+				deferred = append(deferred, pr)
+				continue
+			}
+			heap.Pop(&c.queue)
+			if pr.enc == nil {
+				pr.enc = wire.Marshal(&pr.req)
+			}
+			frames = append(frames, wire.Frame{Type: wire.FrameRequest, Payload: pr.enc})
+			batch = append(batch, pr)
+			batchBytes += len(pr.enc)
+		}
+		for _, pr := range deferred {
+			heap.Push(&c.queue, pr)
+		}
+		// Park the scratch capacity for the next pump before any return.
+		c.frameScratch, c.deferScratch, c.batchScratch = frames[:0], deferred[:0], batch[:0]
+		if len(frames) == 0 {
+			return
+		}
+		var sent bool
+		if len(frames) == 1 {
+			sent = c.sender.SendFrame(frames[0])
+		} else {
+			sent = c.sender.SendFrame(wire.BatchFrames(frames))
+		}
+		if !sent {
+			// Link refused; retry after next connect. Requests go back on the
+			// queue unchanged, acks stay pending — nothing was transmitted.
+			for _, pr := range batch {
+				heap.Push(&c.queue, pr)
+			}
+			return
+		}
+		if len(frames) > 1 {
+			c.stats.BatchesSent++
+		}
+		if ackCount > 0 {
+			c.stats.AcksSent += int64(ackCount)
 			c.acks = nil
 		}
-	}
-	var defer2 []*pendingReq
-	for c.queue.Len() > 0 {
-		pr := c.queue[0]
-		// readyAt only means something when a flush cost is modeled (the
-		// virtual-time simulators, where one scheduler is the single time
-		// base). With a real log the flush was paid synchronously inside
-		// Enqueue, and comparing timestamps would wrongly defer requests
-		// whenever caller and transport clocks have different epochs.
-		if c.flushCost > 0 && pr.readyAt > now {
-			// Not yet durable under virtual time; skip it without
-			// blocking others (pop and re-push after the loop).
-			heap.Pop(&c.queue)
-			defer2 = append(defer2, pr)
-			continue
+		for _, pr := range batch {
+			pr.state = stateSent
+			pr.sentAt = now
+			c.queuedCount--
+			c.sentCount++
+			pr.sends++
+			c.stats.Sent++
+			if pr.sends > 1 {
+				c.stats.Resent++
+			}
 		}
-		if !c.sender.SendFrame(wire.Frame{Type: wire.FrameRequest, Payload: wire.Marshal(&pr.req)}) {
-			break // link refused; retry after next connect
+		if len(batch) == 0 {
+			// Only the ack frame went out; anything left is deferred.
+			return
 		}
-		heap.Pop(&c.queue)
-		pr.state = stateSent
-		pr.sentAt = now
-		c.queuedCount--
-		c.sentCount++
-		pr.sends++
-		c.stats.Sent++
-		if pr.sends > 1 {
-			c.stats.Resent++
-		}
-	}
-	for _, pr := range defer2 {
-		heap.Push(&c.queue, pr)
 	}
 }
 
-func (c *Client) sendHelloLocked() {
+// lowSeqLocked computes the LowSeq a Hello may advertise: nothing at or
+// above it is still outstanding — neither registered in pend nor mid-Enqueue
+// (the unlocked log-append window).
+func (c *Client) lowSeqLocked() uint64 {
 	low := c.nextSeq
 	for seq := range c.pend {
 		if seq < low {
 			low = seq
 		}
 	}
-	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: low}
+	for seq := range c.inflight {
+		if seq < low {
+			low = seq
+		}
+	}
+	return low
+}
+
+func (c *Client) sendHelloLocked() {
+	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: c.lowSeqLocked()}
 	if c.cfg.Key != nil {
 		h.Nonce = c.nonce()
 		h.Proof = auth.Prove(c.cfg.Key, c.cfg.ClientID, h.Nonce)
@@ -490,13 +602,7 @@ func (c *Client) nonce() []byte {
 func (c *Client) Hello() wire.Frame {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	low := c.nextSeq
-	for seq := range c.pend {
-		if seq < low {
-			low = seq
-		}
-	}
-	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: low}
+	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: c.lowSeqLocked()}
 	if c.cfg.Key != nil {
 		h.Nonce = c.nonce()
 		h.Proof = auth.Prove(c.cfg.Key, c.cfg.ClientID, h.Nonce)

@@ -93,6 +93,7 @@ type ClientStats struct {
 	Replies     int64
 	Duplicates  int64 // replies for already-completed requests
 	AcksSent    int64
+	BatchesSent int64 // FrameBatch frames sent (coalesced pump cycles)
 	Connects    int64
 	Disconnects int64
 }
@@ -106,4 +107,5 @@ type ServerStats struct {
 	AcksReceived  int64
 	AuthFailures  int64
 	CallbacksSent int64
+	BatchesSent   int64 // FrameBatch frames sent (coalesced reply chunks)
 }

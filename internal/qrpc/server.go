@@ -20,6 +20,22 @@ type ServerConfig struct {
 	// Auth, when non-nil, makes the server verify Hello proofs and reject
 	// unauthenticated sessions.
 	Auth *auth.Registry
+	// Workers selects the handler execution model:
+	//
+	//   - 0 (the default): inline. Handlers run synchronously on the
+	//     goroutine that delivered the frame, in arrival order. This is
+	//     required when the engine is driven by a single-threaded scheduler
+	//     (the discrete-event simulator's virtual time) and is what
+	//     synchronous tests expect.
+	//   - n > 0: a bounded pool of n workers executes handlers. Requests
+	//     from one session run serially in arrival order (per-session FIFO);
+	//     different sessions run in parallel, and each worker coalesces the
+	//     replies of a drained run into one FrameBatch.
+	//
+	// Pooled servers should be Close()d to stop the workers; Quiesce waits
+	// for dispatched requests to finish (connectionless transports use it
+	// before harvesting replies).
+	Workers int
 }
 
 // session is the per-client redelivery state. It lives across transport
@@ -57,16 +73,21 @@ type Server struct {
 	sessions map[string]*session
 	conns    map[Sender]*conn
 	stats    ServerStats
+	pool     *workerPool // nil in inline mode
 }
 
 // NewServer builds a server engine.
 func NewServer(cfg ServerConfig) *Server {
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		handlers: make(map[string]Handler),
 		sessions: make(map[string]*session),
 		conns:    make(map[Sender]*conn),
 	}
+	if cfg.Workers > 0 {
+		s.pool = newWorkerPool(s, cfg.Workers)
+	}
+	return s
 }
 
 // Register installs a service handler.
@@ -97,21 +118,58 @@ func (s *Server) OnDisconnect(from Sender, now vtime.Time) {
 	}
 }
 
-// OnFrame processes one frame from a transport.
+// OnFrame processes one frame from a transport. A batch frame's sub-frames
+// are processed in order, and every synchronous response they provoke
+// (Welcome, cached replays, pongs, inline replies) is coalesced back into a
+// single frame toward the sender.
 func (s *Server) OnFrame(from Sender, f wire.Frame, now vtime.Time) {
+	var out []wire.Frame
+	if f.Type == wire.FrameBatch {
+		subs, err := wire.UnbatchFrames(f.Payload)
+		if err != nil {
+			return
+		}
+		for _, sf := range subs {
+			s.handleFrame(from, sf, now, &out)
+		}
+	} else {
+		s.handleFrame(from, f, now, &out)
+	}
+	s.sendCoalesced(from, out)
+}
+
+// handleFrame processes one (non-batch) frame, appending any synchronous
+// response frames to out rather than sending them directly.
+func (s *Server) handleFrame(from Sender, f wire.Frame, now vtime.Time, out *[]wire.Frame) {
 	switch f.Type {
 	case wire.FrameHello:
-		s.onHello(from, f.Payload)
+		s.onHello(from, f.Payload, out)
 	case wire.FrameRequest:
-		s.onRequest(from, f.Payload, now)
+		s.onRequest(from, f.Payload, now, out)
 	case wire.FrameAck:
 		s.onAck(from, f.Payload)
 	case wire.FramePing:
-		from.SendFrame(wire.Frame{Type: wire.FramePong})
+		*out = append(*out, wire.Frame{Type: wire.FramePong})
 	}
 }
 
-func (s *Server) onHello(from Sender, payload []byte) {
+// sendCoalesced delivers the collected response frames to a sender: nothing,
+// the lone frame, or one FrameBatch for several.
+func (s *Server) sendCoalesced(to Sender, out []wire.Frame) {
+	switch len(out) {
+	case 0:
+	case 1:
+		to.SendFrame(out[0])
+	default:
+		if to.SendFrame(wire.BatchFrames(out)) {
+			s.mu.Lock()
+			s.stats.BatchesSent++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 	var h Hello
 	if err := wire.Unmarshal(payload, &h); err != nil {
 		return
@@ -126,7 +184,7 @@ func (s *Server) onHello(from Sender, payload []byte) {
 		if err := s.cfg.Auth.Verify(h.ClientID, h.Nonce, h.Proof); err != nil {
 			s.stats.AuthFailures++
 			s.mu.Unlock()
-			from.SendFrame(wire.Frame{Type: wire.FrameAuthReject})
+			*out = append(*out, wire.Frame{Type: wire.FrameAuthReject})
 			return
 		}
 	}
@@ -151,7 +209,7 @@ func (s *Server) onHello(from Sender, payload []byte) {
 	}
 	w := &Welcome{ServerID: s.cfg.ServerID, HighSeq: sess.maxExec}
 	s.mu.Unlock()
-	from.SendFrame(wire.Frame{Type: wire.FrameWelcome, Payload: wire.Marshal(w)})
+	*out = append(*out, wire.Frame{Type: wire.FrameWelcome, Payload: wire.Marshal(w)})
 }
 
 func (s *Server) sessionLocked(clientID string) *session {
@@ -168,7 +226,7 @@ func (s *Server) sessionLocked(clientID string) *session {
 	return sess
 }
 
-func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time) {
+func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time, out *[]wire.Frame) {
 	var req Request
 	if err := wire.Unmarshal(payload, &req); err != nil {
 		return
@@ -189,7 +247,7 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time) {
 		// Redelivered request already executed: replay the reply.
 		s.stats.ReplaysServed++
 		s.mu.Unlock()
-		from.SendFrame(wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(cached)})
+		*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(cached)})
 		return
 	}
 	if sess.acked[req.Seq] || req.Seq < sess.lowSeq || sess.executing[req.Seq] {
@@ -200,12 +258,28 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time) {
 		return
 	}
 	handler := s.handlers[req.Service]
+	// Marking the request executing at DISPATCH time — before the handler
+	// runs, whether inline or queued to the pool — is what keeps redelivered
+	// duplicates from executing twice while the first copy is in flight.
 	sess.executing[req.Seq] = true
 	clientID := cn.clientID
+	pool := s.pool
 	s.mu.Unlock()
 
-	// Execute outside the lock: handlers may be slow and may re-enter the
-	// server (SendCallback).
+	if pool != nil {
+		pool.submit(poolTask{from: from, clientID: clientID, sess: sess, handler: handler, req: req})
+		return
+	}
+	// Inline mode: execute here (outside the lock; handlers may be slow and
+	// may re-enter the server, e.g. SendCallback) and coalesce the reply
+	// with the rest of the batch's output.
+	rep := s.execute(sess, clientID, handler, req)
+	*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+}
+
+// execute runs a dispatched request's handler outside engine locks, records
+// the reply in the session's at-most-once cache, and returns it.
+func (s *Server) execute(sess *session, clientID string, handler Handler, req Request) *Reply {
 	rep := &Reply{Seq: req.Seq}
 	if handler == nil {
 		rep.Status = StatusNoService
@@ -226,7 +300,7 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time) {
 	}
 	s.stats.Executed++
 	s.mu.Unlock()
-	from.SendFrame(wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+	return rep
 }
 
 func (s *Server) onAck(from Sender, payload []byte) {
@@ -296,6 +370,27 @@ func (s *Server) BroadcastCallback(exceptClientID, topic string, payload []byte)
 	s.stats.CallbacksSent += int64(n)
 	s.mu.Unlock()
 	return n
+}
+
+// Quiesce blocks until every request dispatched to the worker pool has
+// executed and its reply has been handed to a transport. Inline servers
+// return immediately. Connectionless transports (mail) use it to harvest a
+// poll cycle's replies; tests use it to make pooled execution observable.
+func (s *Server) Quiesce() {
+	if s.pool != nil {
+		s.pool.quiesce()
+	}
+}
+
+// Close stops the worker pool, discarding requests not yet executing (their
+// clients redeliver to the next server incarnation; at-most-once state is
+// per-session and unaffected). Inline servers have nothing to stop. Close
+// is idempotent.
+func (s *Server) Close() error {
+	if s.pool != nil {
+		s.pool.close()
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the engine counters.

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -37,11 +38,19 @@ type FileLog struct {
 	order     []uint64
 	fileBytes int64
 	liveBytes int64
-	unsynced  int
 	stats     Stats
 	closed    bool
 	scratch   []byte
 	torn      *TornTailError // set when recovery truncated a torn tail
+
+	// Group-commit state. Writes are sequenced under mu; fsync happens with
+	// mu RELEASED so concurrent appenders can queue more writes behind the
+	// in-flight flush and then ride the next one. See commitLocked.
+	writeSeq  uint64     // writes issued to the file
+	syncedSeq uint64     // writes known durable
+	syncing   bool       // an fsync is in flight (mu released by the leader)
+	syncErr   error      // sticky: the first fsync failure poisons the log
+	synced    *sync.Cond // broadcast when a sync completes (or fails)
 }
 
 type liveRec struct {
@@ -72,6 +81,7 @@ func OpenFileLog(path string, opts Options) (*FileLog, error) {
 		next: 1,
 		live: make(map[uint64]liveRec),
 	}
+	l.synced = sync.NewCond(&l.mu)
 	if err := l.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -281,22 +291,57 @@ func (l *FileLog) writeRecord(kind byte, id uint64, payload []byte) error {
 	}
 	l.fileBytes += int64(len(b))
 	l.stats.BytesWritten += int64(len(b))
-	return l.maybeSyncLocked()
+	l.writeSeq++
+	return l.commitLocked(l.writeSeq)
 }
 
-func (l *FileLog) maybeSyncLocked() error {
+// commitLocked blocks until write number seq is durable, via group commit:
+// the first appender to arrive becomes the leader, captures the current
+// high-water write mark, and fsyncs with l.mu RELEASED — so appenders
+// arriving during the flush write their records behind it and wait. When
+// the leader's fsync returns, every write it covered is durable at once
+// (one fsync amortized over N appends); an uncovered waiter becomes the
+// next leader. Durability is never weakened: no Append or Remove returns
+// success before its own bytes are flushed. An fsync failure is sticky —
+// after the kernel fails a flush the page-cache state is unknowable, so
+// the log is poisoned and every waiter and later append gets the error.
+func (l *FileLog) commitLocked(seq uint64) error {
 	if l.opts.NoSync {
 		return nil
 	}
-	l.unsynced++
-	if l.opts.GroupCommit > 1 && l.unsynced < l.opts.GroupCommit {
-		return nil
+	for l.syncedSeq < seq {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.syncing {
+			l.synced.Wait()
+			continue
+		}
+		// Leader: flush on behalf of every write issued so far. Yield once
+		// before capturing the target so appenders already racing toward
+		// the log land inside this flush instead of forcing the next one;
+		// writes issued after the capture wait for the next leader, since
+		// an fsync only guarantees data written before it started.
+		l.syncing = true
+		l.mu.Unlock()
+		runtime.Gosched()
+		l.mu.Lock()
+		target := l.writeSeq
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.syncErr = fmt.Errorf("stable: sync: %w", err)
+		} else {
+			if target > l.syncedSeq {
+				l.syncedSeq = target
+			}
+			l.stats.Syncs++
+		}
+		l.synced.Broadcast()
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("stable: sync: %w", err)
-	}
-	l.unsynced = 0
-	l.stats.Syncs++
 	return nil
 }
 
@@ -331,6 +376,11 @@ func (l *FileLog) maybeCompactLocked() error {
 }
 
 func (l *FileLog) compactLocked() error {
+	// Compaction swaps l.f; wait out any fsync in flight on the old file
+	// (the leader holds only a file reference, not the lock).
+	for l.syncing {
+		l.synced.Wait()
+	}
 	tmpPath := l.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
@@ -374,6 +424,10 @@ func (l *FileLog) compactLocked() error {
 	l.fileBytes = newBytes
 	l.order = ids
 	l.stats.Compactions++
+	// The compacted file was fully synced before the rename, so everything
+	// written so far is durable; release any group-commit waiters.
+	l.syncedSeq = l.writeSeq
+	l.synced.Broadcast()
 	return nil
 }
 
@@ -434,7 +488,10 @@ func (l *FileLog) Stats() Stats {
 	return l.stats
 }
 
-// Close implements Log, forcing a final sync of any group-committed tail.
+// Close implements Log. Group commit leaves no unsynced tail — every
+// Append returns durable — so Close only needs to wait out an fsync still
+// in flight before closing the file (a final safety sync covers the NoSync
+// = false, sync-error edge where writes landed but were never flushed).
 func (l *FileLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -442,10 +499,19 @@ func (l *FileLog) Close() error {
 		return nil
 	}
 	l.closed = true
-	var err error
-	if l.unsynced > 0 && !l.opts.NoSync {
-		err = l.f.Sync()
+	for l.syncing {
+		l.synced.Wait()
 	}
+	var err error
+	if l.syncedSeq < l.writeSeq && !l.opts.NoSync && l.syncErr == nil {
+		if err = l.f.Sync(); err == nil {
+			l.syncedSeq = l.writeSeq
+			l.stats.Syncs++
+		} else {
+			l.syncErr = fmt.Errorf("stable: sync: %w", err)
+		}
+	}
+	l.synced.Broadcast()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

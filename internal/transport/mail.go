@@ -144,15 +144,38 @@ func (sp *Spool) Stats() SpoolStats {
 	return sp.stats
 }
 
-// captureSender collects an engine's output frames into a slice.
+// captureSender collects an engine's output frames into a slice. It is
+// mutex-protected because a pooled server engine hands replies to it from
+// worker goroutines; readers synchronize via Server.Quiesce before take().
 type captureSender struct {
+	mu     sync.Mutex
 	frames []wire.Frame
 }
 
 // SendFrame implements qrpc.Sender.
 func (s *captureSender) SendFrame(f wire.Frame) bool {
+	s.mu.Lock()
 	s.frames = append(s.frames, f)
+	s.mu.Unlock()
 	return true
+}
+
+// take returns the captured frames with any batch frames flattened back
+// into their sub-frames, in capture order.
+func (s *captureSender) take() []wire.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.Frame, 0, len(s.frames))
+	for _, f := range s.frames {
+		if f.Type == wire.FrameBatch {
+			if subs, err := wire.UnbatchFrames(f.Payload); err == nil {
+				out = append(out, subs...)
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // MailClient drives a client engine over a spool.
@@ -184,11 +207,16 @@ func (m *MailClient) Flush(now vtime.Time) int {
 	m.client.OnConnect(sink, now)
 	m.client.Pump(now)
 	m.client.OnDisconnect(now)
-	if len(sink.frames) <= 1 { // only the Hello: nothing to say
+	// take() flattens the engine's coalesced FrameBatch output back into
+	// individual frames: envelope chunking (the A-BATCH ablation's
+	// MaxFramesPerEnvelope) operates on logical frames, and the spool's own
+	// envelope batching subsumes wire-level coalescing anyway.
+	frames := sink.take()
+	if len(frames) <= 1 { // only the Hello: nothing to say
 		return 0
 	}
-	hello := sink.frames[0]
-	body := sink.frames[1:]
+	hello := frames[0]
+	body := frames[1:]
 	chunk := m.MaxFramesPerEnvelope
 	if chunk < 1 {
 		chunk = len(body)
@@ -248,11 +276,14 @@ func (ms *MailServer) Poll(now vtime.Time) int {
 		for _, f := range env.Frames {
 			ms.srv.OnFrame(sink, f, now)
 		}
+		// A pooled server executes the envelope's requests asynchronously;
+		// wait for their replies to land in the sink before harvesting.
+		ms.srv.Quiesce()
 		ms.srv.OnDisconnect(sink, now)
 		// Drop the Welcome (mail clients don't need handshakes); mail back
 		// anything substantive.
 		var out []wire.Frame
-		for _, f := range sink.frames {
+		for _, f := range sink.take() {
 			if f.Type != wire.FrameWelcome {
 				out = append(out, f)
 			}

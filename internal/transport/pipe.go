@@ -48,22 +48,27 @@ func (s *pipeSender) SendFrame(f wire.Frame) bool {
 	if !p.connected || p.closed {
 		return false
 	}
-	out := []wire.Frame{f}
 	ff := p.scFaults
 	if s.toServer {
 		ff = p.csFaults
 	}
+	queued := 1
 	if ff != nil {
 		// The pipe has no delivery clock, so injected delays degrade to
 		// immediate delivery; drop/dup/reorder/corrupt apply as scheduled.
-		out, _ = ff.Apply(f)
-	}
-	if s.toServer {
-		p.toServer = append(p.toServer, out...)
+		out, _ := ff.Apply(f)
+		queued = len(out)
+		if s.toServer {
+			p.toServer = append(p.toServer, out...)
+		} else {
+			p.toClient = append(p.toClient, out...)
+		}
+	} else if s.toServer {
+		p.toServer = append(p.toServer, f)
 	} else {
-		p.toClient = append(p.toClient, out...)
+		p.toClient = append(p.toClient, f)
 	}
-	if len(out) > 0 {
+	if queued > 0 {
 		p.cond.Broadcast()
 	}
 	return true

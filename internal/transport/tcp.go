@@ -101,11 +101,15 @@ func (t *TCPServer) Close() error {
 	return err
 }
 
-// tcpSender serializes frame writes onto one socket.
+// tcpSender serializes frame writes onto one socket. The encode scratch is
+// reused across sends (it is only touched under the mutex), so a frame —
+// including a FrameBatch carrying a whole pump cycle — costs exactly one
+// allocation-free encode and one Write syscall.
 type tcpSender struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dead bool
+	mu      sync.Mutex
+	conn    net.Conn
+	dead    bool
+	scratch []byte
 }
 
 // SendFrame implements qrpc.Sender.
@@ -115,7 +119,8 @@ func (s *tcpSender) SendFrame(f wire.Frame) bool {
 	if s.dead {
 		return false
 	}
-	if _, err := s.conn.Write(wire.EncodeFrame(f)); err != nil {
+	s.scratch = wire.AppendFrame(s.scratch[:0], f)
+	if _, err := s.conn.Write(s.scratch); err != nil {
 		s.dead = true
 		return false
 	}

@@ -35,7 +35,7 @@ const (
 	FrameCallback   byte = 6 // server -> client object-change notification
 	FramePing       byte = 7 // liveness / link-quality probe
 	FramePong       byte = 8
-	FrameBatch      byte = 9  // multiple frames in one envelope (mail transport)
+	FrameBatch      byte = 9  // multiple coalesced frames in one transport frame (see batch.go)
 	FrameAuthReject byte = 10 // server -> client authentication failure
 )
 

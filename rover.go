@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"rover/internal/access"
@@ -429,6 +430,17 @@ type ServerOptions struct {
 	SnapshotPath string
 	// InvokeBudget bounds server-side RDO execution steps per invocation.
 	InvokeBudget int64
+	// Workers sizes the request-execution worker pool: requests from one
+	// client session execute serially in arrival order while sessions run
+	// in parallel, and a batch of queued requests executes while the
+	// transport reads the next frame. Zero selects the default: GOMAXPROCS
+	// workers when GOMAXPROCS > 1, inline otherwise (a pool of one can
+	// never run anything in parallel — it only adds a handoff context
+	// switch per request). Negative forces inline execution on the
+	// transport goroutine — required when the server is driven by a
+	// single-threaded scheduler, as the virtual-time benchmark harness
+	// does.
+	Workers int
 }
 
 // Server is a Rover home server: QRPC engine + object store + conflict
@@ -452,7 +464,16 @@ func NewServer(opts ServerOptions) (*Server, error) {
 			reg.Add(id, k)
 		}
 	}
-	engine := qrpc.NewServer(qrpc.ServerConfig{ServerID: opts.ServerID, Auth: reg})
+	workers := opts.Workers
+	if workers == 0 {
+		if procs := runtime.GOMAXPROCS(0); procs > 1 {
+			workers = procs
+		}
+	}
+	if workers < 0 {
+		workers = 0 // inline execution
+	}
+	engine := qrpc.NewServer(qrpc.ServerConfig{ServerID: opts.ServerID, Auth: reg, Workers: workers})
 	srv, err := server.New(server.Config{Engine: engine, InvokeBudget: opts.InvokeBudget})
 	if err != nil {
 		return nil, err
@@ -485,6 +506,11 @@ func (s *Server) Seed(obj *Object) error { return s.srv.Store().Create(obj) }
 func (s *Server) ListenTCP(addr string) (*transport.TCPServer, error) {
 	return transport.ListenTCP(addr, s.engine, nil)
 }
+
+// Close stops the server's worker pool, dropping queued-but-unstarted
+// requests (clients redeliver from their stable logs, so nothing is lost).
+// Transports attached via ListenTCP are closed separately by their handles.
+func (s *Server) Close() error { return s.engine.Close() }
 
 // SaveSnapshot persists the object store to the configured snapshot path.
 func (s *Server) SaveSnapshot() error {
