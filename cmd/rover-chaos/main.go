@@ -10,13 +10,16 @@
 //     up exactly its unanswered requests — no loss, no double-complete;
 //   - ack durability: reply caches drain once acknowledgements land.
 //
-// Four scenarios cover the transports: `sim` (deterministic virtual-time
-// link with frame drop/dup/reorder/corrupt/delay and outages), `pipe`
-// (the full rover facade running a booking workload over a flapping,
-// fault-injected in-process link), `mail` (spool loss/duplication/outages
-// with client crashes recovered from the log), and `crash` (engine
-// crash/restart cycles over a real file-backed log, including torn-tail
-// writes).
+// Five scenarios cover the transports and both ends of the connection:
+// `sim` (deterministic virtual-time link with frame
+// drop/dup/reorder/corrupt/delay and outages), `pipe` (the full rover
+// facade running a booking workload over a flapping, fault-injected
+// in-process link), `mail` (spool loss/duplication/outages with client
+// crashes recovered from the log), `crash` (client engine crash/restart
+// cycles over a real file-backed log, including torn-tail writes), and
+// `crash-server` (server crash/rebuild cycles over a file-backed session
+// journal with dirty appends and torn tails — exactly-once must hold with
+// the SERVER dying, not just the client).
 //
 // Every schedule is reproducible: on a violation the failing seed and a
 // repro command line are printed and the process exits nonzero.
@@ -44,10 +47,11 @@ import (
 )
 
 var (
-	schedules = flag.Int("schedules", 25, "number of fault schedules per scenario")
-	seed      = flag.Int64("seed", 1, "base seed; schedule i uses seed+i")
-	scenario  = flag.String("transport", "all", "scenario to run: all, sim, pipe, mail, crash")
-	verbose   = flag.Bool("v", false, "print per-schedule stats")
+	schedules    = flag.Int("schedules", 25, "number of fault schedules per scenario")
+	seed         = flag.Int64("seed", 1, "base seed; schedule i uses seed+i")
+	scenarioFlag = flag.String("scenario", "", "scenario to run: all, sim, pipe, mail, crash, crash-server")
+	transport_   = flag.String("transport", "", "deprecated alias for -scenario")
+	verbose      = flag.Bool("v", false, "print per-schedule stats")
 )
 
 type runner struct {
@@ -57,20 +61,28 @@ type runner struct {
 
 func main() {
 	flag.Parse()
+	scenario := *scenarioFlag
+	if scenario == "" {
+		scenario = *transport_ // historical flag name, kept as an alias
+	}
+	if scenario == "" {
+		scenario = "all"
+	}
 	all := []runner{
 		{"sim", runSim},
 		{"pipe", runPipe},
 		{"mail", runMail},
 		{"crash", runCrash},
+		{"crash-server", runCrashServer},
 	}
 	var picked []runner
 	for _, r := range all {
-		if *scenario == "all" || *scenario == r.name {
+		if scenario == "all" || scenario == r.name {
 			picked = append(picked, r)
 		}
 	}
 	if len(picked) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown -transport %q\n", *scenario)
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q\n", scenario)
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -79,7 +91,7 @@ func main() {
 		for _, r := range picked {
 			if err := r.run(s, *verbose); err != nil {
 				fmt.Fprintf(os.Stderr, "VIOLATION scenario=%s seed=%d: %v\n", r.name, s, err)
-				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -transport=%s -v\n", s, r.name)
+				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -scenario=%s -v\n", s, r.name)
 				os.Exit(1)
 			}
 		}
@@ -576,6 +588,193 @@ func runCrash(seed int64, verbose bool) error {
 	}
 	if verbose {
 		fmt.Printf("  crash: %d requests across %d restarts, all recovered\n", len(accepted), rounds)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// crash-server: server crash/rebuild cycles over a file-backed SESSION
+// JOURNAL. The client survives; the server dies repeatedly — sometimes from
+// a scheduled strike, sometimes because a dirty journal append poisoned it
+// (record durable, caller saw an error: crash-before-ack), sometimes with a
+// torn trailing write injected into the journal file. Exactly-once must
+// hold across every rebuild: a request whose exec record reached the
+// journal is never re-executed (the recovered reply cache answers its
+// redelivery), every accepted request eventually completes, and background
+// compaction keeps the journal bounded by live session state.
+//
+// The fault mix is deliberately AppendDirty-only: a dirty append means the
+// record IS durable, so every handler execution has a durable exec record
+// and the invariant is strict (execs per seq ≤ 1, ever) — no "clean append
+// failure" escape hatch where a legitimate re-execution would be allowed.
+
+func runCrashServer(seed int64, verbose bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	dir, err := os.MkdirTemp("", "rover-chaos-jsrv")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	jpath := filepath.Join(dir, "journal")
+	clock := vtime.NewRealClock()
+
+	var mu sync.Mutex // completions/execs touched from pool goroutines
+	completions := map[uint64]int{}
+	execs := map[uint64]int{}
+	cli, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "chaos-jsrv", Log: stable.NewMemLog(stable.Options{})})
+	if err != nil {
+		return err
+	}
+	track := func(p *qrpc.Promise) {
+		p.OnComplete(func(p *qrpc.Promise) {
+			mu.Lock()
+			completions[p.Seq()]++
+			mu.Unlock()
+		})
+	}
+
+	const compactEvery = 8
+	var (
+		srv          *qrpc.Server
+		flog         *stable.FileLog
+		jfaults      *faults.Log
+		pipe         *transport.Pipe
+		incarnations int
+		compactions  int64
+		faultsOn     = true
+	)
+	// boot opens (or reopens) the journal and builds a fresh server
+	// incarnation from it, alternating between inline and pooled execution.
+	boot := func() error {
+		fl, err := stable.OpenFileLog(jpath, stable.Options{})
+		if err != nil {
+			return fmt.Errorf("incarnation %d journal open: %w", incarnations, err)
+		}
+		jf := faults.WrapLog(fl, seed^0x6a+int64(incarnations)*101, faults.LogFaultRates{AppendDirty: 0.10})
+		jf.SetEnabled(faultsOn)
+		s := qrpc.NewServer(qrpc.ServerConfig{
+			ServerID:            "chaos-home",
+			Journal:             jf,
+			JournalCompactEvery: compactEvery,
+			Workers:             []int{0, 2, 3}[incarnations%3],
+		})
+		if err := s.JournalError(); err != nil {
+			fl.Close()
+			return fmt.Errorf("incarnation %d recovery: %w", incarnations, err)
+		}
+		s.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
+			mu.Lock()
+			execs[req.Seq]++
+			mu.Unlock()
+			return req.Args, nil
+		})
+		srv, flog, jfaults = s, fl, jf
+		pipe = transport.NewPipe(cli, srv, nil)
+		pipe.SetConnected(true)
+		incarnations++
+		return nil
+	}
+	// crash kills the current incarnation (link gone, journal file closed,
+	// optionally a torn trailing write) and boots the next one.
+	crash := func(torn bool) error {
+		pipe.SetConnected(false)
+		pipe.Close()
+		srv.Close() // waits out background compaction, so the count below is final
+		compactions += srv.Stats().JournalCompactions
+		flog.Close()
+		if torn {
+			if data, err := os.ReadFile(jpath); err == nil && len(data) >= 8 {
+				if f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0); err == nil {
+					f.Write(data[:3]) // prefix of a valid record, cut short
+					f.Close()
+				}
+			}
+		}
+		return boot()
+	}
+	if err := boot(); err != nil {
+		return err
+	}
+
+	crasher := faults.NewCrasher(seed^0x55, 0.04, 3)
+	accepted := map[uint64]bool{}
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 8; i++ {
+			p, err := cli.Enqueue("echo", []byte{byte(r*10 + i)}, qrpc.PriorityNormal, clock.Now())
+			if err == nil {
+				mu.Lock()
+				accepted[p.Seq()] = true
+				mu.Unlock()
+				track(p)
+			}
+			pipe.Kick()
+			if crasher.Strike() {
+				if err := crash(rng.Float64() < 0.3); err != nil {
+					return err
+				}
+			}
+		}
+		// Let some replies land (and acks prune) before the round's crash.
+		time.Sleep(time.Duration(rng.Intn(8)+2) * time.Millisecond)
+		if err := crash(rng.Float64() < 0.5); err != nil {
+			return err
+		}
+	}
+
+	// Clean drain: journal faults off. A server already poisoned by an
+	// earlier dirty append stops releasing replies — that IS a crash point,
+	// so rebuild when we see one. Flap the link so redelivery covers
+	// anything stranded.
+	faultsOn = false
+	jfaults.SetEnabled(false)
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; cli.Pending() > 0; i++ {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("crash-server drain stalled with %d pending (journal err: %v)", cli.Pending(), srv.JournalError())
+		}
+		if srv.JournalError() != nil {
+			if err := crash(false); err != nil {
+				return err
+			}
+		}
+		if i%50 == 49 {
+			pipe.SetConnected(false)
+			pipe.SetConnected(true)
+		}
+		pipe.Kick()
+		time.Sleep(time.Millisecond)
+	}
+	pipe.Close()
+	srv.Close() // waits out background compaction
+	compactions += srv.Stats().JournalCompactions
+	liveRecords := flog.Len()
+	flog.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for seq := range accepted {
+		if completions[seq] == 0 {
+			return fmt.Errorf("accepted seq %d never completed across %d server incarnations", seq, incarnations)
+		}
+	}
+	for seq, c := range execs {
+		if c > 1 {
+			return fmt.Errorf("exactly-once violated: seq %d executed %d times across server restarts", seq, c)
+		}
+	}
+	if compactions == 0 {
+		return fmt.Errorf("journal never compacted across %d incarnations (%d live records)", incarnations, liveRecords)
+	}
+	// Bounded: live records stay near the compaction threshold (snapshot +
+	// one window + slack for appends racing the final compaction), not the
+	// full request history.
+	if liveRecords > 3*compactEvery {
+		return fmt.Errorf("journal unbounded: %d live records after %d compactions (threshold %d)", liveRecords, compactions, compactEvery)
+	}
+	if verbose {
+		fmt.Printf("  crash-server: %d requests, %d incarnations, %d compactions, %d live records\n",
+			len(accepted), incarnations, compactions, liveRecords)
 	}
 	return nil
 }

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	rover-server -listen :7070 -snapshot objects.snap -seed demo
+//	rover-server -listen :7070 -snapshot objects.snap -journal sessions.wal -seed demo
 //
 // With -snapshot, the object store is loaded at startup (if the file
-// exists) and saved on SIGINT/SIGTERM and every -save-interval.
+// exists) and saved on SIGINT/SIGTERM and every -save-interval. With
+// -journal, QRPC session state is write-ahead-logged so exactly-once
+// execution survives server crashes: a restarted server answers
+// redelivered requests from the recovered reply cache.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		httpAddr     = flag.String("http", "", "also serve a read-only HTTP gateway (e.g. 127.0.0.1:8080)")
 		serverID     = flag.String("id", "rover-server", "server identity")
 		snapshot     = flag.String("snapshot", "", "object store snapshot path (load at start, save on exit)")
+		journal      = flag.String("journal", "", "session journal path (exactly-once across server restarts)")
 		saveInterval = flag.Duration("save-interval", time.Minute, "periodic snapshot interval (0 disables)")
 		seed         = flag.String("seed", "", "seed demo content: mail, calendar, web, or all")
 	)
@@ -41,9 +45,16 @@ func main() {
 	srv, err := rover.NewServer(rover.ServerOptions{
 		ServerID:     *serverID,
 		SnapshotPath: *snapshot,
+		JournalPath:  *journal,
 	})
 	if err != nil {
 		log.Fatalf("rover-server: %v", err)
+	}
+	defer srv.Close()
+	if *journal != "" {
+		st := srv.Engine().Stats()
+		log.Printf("rover-server: session journal %s (%d sessions, %d replies recovered)",
+			*journal, st.RecoveredSessions, st.RecoveredReplies)
 	}
 	if err := seedDemo(srv, *seed); err != nil {
 		log.Fatalf("rover-server: seeding: %v", err)

@@ -217,3 +217,23 @@ func TestCrasherRespectsMaxAndSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestLogFaultsReplayFail(t *testing.T) {
+	inner := stable.NewMemLog(stable.Options{})
+	if _, err := inner.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l := WrapLog(inner, 7, LogFaultRates{ReplayFail: 1})
+	err := l.Replay(func(uint64, []byte) error { t.Fatal("record yielded before injected failure"); return nil })
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Replay = %v, want injected", err)
+	}
+	if got := l.FaultStats().ReplaysFailed; got != 1 {
+		t.Errorf("ReplaysFailed = %d, want 1", got)
+	}
+	l.SetEnabled(false)
+	n := 0
+	if err := l.Replay(func(uint64, []byte) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("disabled faults: Replay = %v, n = %d", err, n)
+	}
+}

@@ -26,6 +26,12 @@ type LogFaultRates struct {
 	// RemoveFail fails a Remove; the record stays live and is replayed on
 	// recovery (the server's reply cache absorbs the duplicate).
 	RemoveFail float64
+	// ReplayFail fails a Replay wholesale before yielding any record —
+	// modeling an unreadable or interior-corrupt log discovered at
+	// recovery time. Engines built over the log must surface this as a
+	// construction failure (the QRPC server poisons itself and refuses
+	// executes) rather than start from partial state.
+	ReplayFail float64
 }
 
 // LogFaultStats counts injected log faults.
@@ -33,6 +39,7 @@ type LogFaultStats struct {
 	AppendsFailed int64
 	AppendsDirty  int64
 	RemovesFailed int64
+	ReplaysFailed int64
 }
 
 // Log decorates a stable.Log with seeded fault injection.
@@ -103,7 +110,16 @@ func (l *Log) Remove(id uint64) error {
 }
 
 // Replay implements stable.Log.
-func (l *Log) Replay(fn func(id uint64, rec []byte) error) error { return l.inner.Replay(fn) }
+func (l *Log) Replay(fn func(id uint64, rec []byte) error) error {
+	l.mu.Lock()
+	if l.enabled && l.rng.Float64() < l.rates.ReplayFail {
+		l.stats.ReplaysFailed++
+		l.mu.Unlock()
+		return fmt.Errorf("%w: replay", ErrInjected)
+	}
+	l.mu.Unlock()
+	return l.inner.Replay(fn)
+}
 
 // Len implements stable.Log.
 func (l *Log) Len() int { return l.inner.Len() }

@@ -1,0 +1,345 @@
+package qrpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rover/internal/stable"
+	"rover/internal/wire"
+)
+
+// Server session journal.
+//
+// The client side of QRPC survives crashes because every request lives in a
+// stable operation log until its reply is consumed. The server side's
+// exactly-once machinery — the per-session reply cache and acked table —
+// was historically in-memory only: kill the server and every redelivered
+// request re-executed. ServerConfig.Journal closes that hole with a
+// write-ahead journal of session state:
+//
+//   - exec records ('E') persist an executed request's reply BEFORE the
+//     reply is released to any transport, so a reply the client may have
+//     observed is always recoverable;
+//   - ack records ('K') persist which replies the client acknowledged, so
+//     recovered state does not retain reply payloads forever;
+//   - prune records ('P') persist the LowSeq floor a Hello advertised, so
+//     recovery can discard idempotency state the client no longer needs;
+//   - snapshot records ('S') are written by compaction: one record holding
+//     every session's complete recovery state, superseding (and allowing
+//     removal of) everything journaled before it.
+//
+// Replay applies records in append order; a snapshot record resets all
+// session state to its contents and later records apply on top. That reset
+// is sound because compaction captures the snapshot while holding the
+// journal gate (Server.jgate) exclusively: no append is in flight, so every
+// live record's effect is already inside the captured state.
+//
+// Journal appends ride the stable log's group commit (stable.FileLog's
+// leader-fsync waiter protocol), so under the worker pool N concurrent
+// executes share ~one fsync instead of paying N — the durability write is
+// amortized, not a new sync per request.
+
+// Journal record kinds (first byte of each record).
+const (
+	jrecExec     = byte('E')
+	jrecAck      = byte('K')
+	jrecPrune    = byte('P')
+	jrecSnapshot = byte('S')
+)
+
+// defaultJournalCompactEvery is the live-record count that triggers a
+// background snapshot+truncate when ServerConfig.JournalCompactEvery is 0.
+const defaultJournalCompactEvery = 1024
+
+func encodeExecRecord(clientID string, rep *Reply) []byte {
+	var b wire.Buffer
+	b.PutByte(jrecExec)
+	b.PutString(clientID)
+	rep.MarshalWire(&b)
+	return b.Bytes()
+}
+
+func encodeAckRecord(clientID string, seqs []uint64) []byte {
+	var b wire.Buffer
+	b.PutByte(jrecAck)
+	b.PutString(clientID)
+	b.PutUvarintSlice(seqs)
+	return b.Bytes()
+}
+
+func encodePruneRecord(clientID string, lowSeq uint64) []byte {
+	var b wire.Buffer
+	b.PutByte(jrecPrune)
+	b.PutString(clientID)
+	b.PutUvarint(lowSeq)
+	return b.Bytes()
+}
+
+// encodeSnapshotRecord serializes every session's recovery state. Callers
+// hold s.mu (and, for compaction, the jgate write lock). Iteration is
+// sorted so identical states produce identical bytes.
+func encodeSnapshotRecord(sessions map[string]*session) []byte {
+	var b wire.Buffer
+	b.PutByte(jrecSnapshot)
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	b.PutUvarint(uint64(len(ids)))
+	for _, id := range ids {
+		sess := sessions[id]
+		b.PutString(sess.clientID)
+		b.PutUvarint(sess.lowSeq)
+		b.PutUvarint(sess.maxExec)
+		seqs := make([]uint64, 0, len(sess.replies))
+		for seq := range sess.replies {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		b.PutUvarint(uint64(len(seqs)))
+		for _, seq := range seqs {
+			sess.replies[seq].MarshalWire(&b)
+		}
+		acked := make([]uint64, 0, len(sess.acked))
+		for seq := range sess.acked {
+			acked = append(acked, seq)
+		}
+		sort.Slice(acked, func(i, j int) bool { return acked[i] < acked[j] })
+		b.PutUvarintSlice(acked)
+	}
+	return b.Bytes()
+}
+
+// recoverJournal rebuilds session state from the journal at construction.
+// It runs before the server is reachable, so no locking is needed. Any
+// decode failure aborts recovery — executing against a half-recovered
+// reply cache could re-run requests whose replies were already released,
+// so the caller poisons the server instead.
+func (s *Server) recoverJournal() error {
+	err := s.cfg.Journal.Replay(func(id uint64, rec []byte) error {
+		if err := s.applyJournalRecord(rec); err != nil {
+			return fmt.Errorf("record %d: %w", id, err)
+		}
+		s.journalIDs = append(s.journalIDs, id)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Idempotency state below a session's recovered LowSeq is dead weight
+	// (replay order can leave stale entries when prune records landed before
+	// late ack records); drop it once, here.
+	recoveredReplies := 0
+	for _, sess := range s.sessions {
+		for seq := range sess.replies {
+			if seq < sess.lowSeq {
+				delete(sess.replies, seq)
+			}
+		}
+		for seq := range sess.acked {
+			if seq < sess.lowSeq {
+				delete(sess.acked, seq)
+			}
+		}
+		recoveredReplies += len(sess.replies)
+	}
+	s.stats.RecoveredSessions = int64(len(s.sessions))
+	s.stats.RecoveredReplies = int64(recoveredReplies)
+	return nil
+}
+
+// applyJournalRecord applies one journal record during recovery.
+func (s *Server) applyJournalRecord(rec []byte) error {
+	r := wire.NewReader(rec)
+	kind := r.Byte()
+	switch kind {
+	case jrecExec:
+		clientID := r.String()
+		rep := &Reply{}
+		if err := rep.UnmarshalWire(r); err != nil {
+			return fmt.Errorf("qrpc: corrupt exec record: %w", err)
+		}
+		if err := journalRecordDone(r); err != nil {
+			return err
+		}
+		sess := s.sessionLocked(clientID)
+		if rep.Seq >= sess.lowSeq && !sess.acked[rep.Seq] {
+			sess.replies[rep.Seq] = rep
+		}
+		if rep.Seq > sess.maxExec {
+			sess.maxExec = rep.Seq
+		}
+	case jrecAck:
+		clientID := r.String()
+		seqs := r.UvarintSlice()
+		if err := journalRecordDone(r); err != nil {
+			return err
+		}
+		sess := s.sessionLocked(clientID)
+		for _, seq := range seqs {
+			delete(sess.replies, seq)
+			sess.acked[seq] = true
+		}
+	case jrecPrune:
+		clientID := r.String()
+		lowSeq := r.Uvarint()
+		if err := journalRecordDone(r); err != nil {
+			return err
+		}
+		sess := s.sessionLocked(clientID)
+		if lowSeq > sess.lowSeq {
+			sess.lowSeq = lowSeq
+			for seq := range sess.replies {
+				if seq < lowSeq {
+					delete(sess.replies, seq)
+				}
+			}
+			for seq := range sess.acked {
+				if seq < lowSeq {
+					delete(sess.acked, seq)
+				}
+			}
+		}
+	case jrecSnapshot:
+		n := r.Len()
+		sessions := make(map[string]*session, n)
+		for i := 0; i < n; i++ {
+			clientID := r.String()
+			sess := &session{
+				clientID:  clientID,
+				replies:   make(map[uint64]*Reply),
+				executing: make(map[uint64]bool),
+				acked:     make(map[uint64]bool),
+			}
+			sess.lowSeq = r.Uvarint()
+			sess.maxExec = r.Uvarint()
+			rn := r.Len()
+			for j := 0; j < rn; j++ {
+				rep := &Reply{}
+				if err := rep.UnmarshalWire(r); err != nil {
+					return fmt.Errorf("qrpc: corrupt snapshot reply: %w", err)
+				}
+				sess.replies[rep.Seq] = rep
+			}
+			for _, seq := range r.UvarintSlice() {
+				sess.acked[seq] = true
+			}
+			if r.Err() != nil {
+				return fmt.Errorf("qrpc: corrupt snapshot record: %w", r.Err())
+			}
+			sessions[clientID] = sess
+		}
+		if err := journalRecordDone(r); err != nil {
+			return err
+		}
+		// A snapshot captures complete state under the journal gate, so it
+		// supersedes everything applied before it.
+		s.sessions = sessions
+	default:
+		return fmt.Errorf("qrpc: unknown journal record kind %#x", kind)
+	}
+	return nil
+}
+
+func journalRecordDone(r *wire.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("qrpc: corrupt journal record: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("qrpc: trailing bytes in journal record")
+	}
+	return nil
+}
+
+// poisonJournalLocked records the first journal failure. Once set, the
+// server refuses to execute further requests (see onRequest/execute):
+// releasing replies whose durability cannot be guaranteed would silently
+// reintroduce the double-execution window the journal exists to close.
+func (s *Server) poisonJournalLocked(err error) {
+	if s.journalErr == nil {
+		s.journalErr = fmt.Errorf("qrpc: session journal: %w", err)
+	}
+}
+
+// JournalError reports why the server's session journal is out of service:
+// a recovery failure at construction, or the first append failure (for
+// stable.FileLog, typically a *stable.PoisonedError after a failed fsync).
+// While non-nil, the server answers redelivered requests from the recovered
+// reply cache but refuses to execute new work (ServerStats.JournalRefused
+// counts the refusals). Nil when healthy or when no journal is configured.
+func (s *Server) JournalError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalErr
+}
+
+func (s *Server) journalCompactThreshold() int {
+	if s.cfg.JournalCompactEvery > 0 {
+		return s.cfg.JournalCompactEvery
+	}
+	return defaultJournalCompactEvery
+}
+
+// shouldCompactLocked decides (and claims) a background compaction run.
+func (s *Server) shouldCompactLocked() bool {
+	if s.compacting || s.journalErr != nil || len(s.journalIDs) < s.journalCompactThreshold() {
+		return false
+	}
+	s.compacting = true
+	s.compactWG.Add(1)
+	return true
+}
+
+// compactJournal runs in the background once the live journal grows past
+// the compaction threshold: it snapshots every session's recovery state
+// into one record, appends it, and removes the records it supersedes, so
+// the journal stays bounded by live session state rather than by history.
+//
+// Holding jgate exclusively across capture+append is what makes this
+// correct: appends hold the read side across their own append+bookkeeping,
+// so at capture time every live journal record's effect is in s.sessions
+// and its id is in s.journalIDs — "snapshot, then remove exactly the
+// tracked ids" cannot lose an in-flight record.
+func (s *Server) compactJournal() {
+	defer s.compactWG.Done()
+	s.jgate.Lock()
+	s.mu.Lock()
+	if s.journalErr != nil {
+		s.compacting = false
+		s.mu.Unlock()
+		s.jgate.Unlock()
+		return
+	}
+	snap := encodeSnapshotRecord(s.sessions)
+	prev := s.journalIDs
+	s.journalIDs = nil
+	s.mu.Unlock()
+	sid, err := s.cfg.Journal.Append(snap)
+	s.jgate.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		s.poisonJournalLocked(err)
+		s.journalIDs = append(s.journalIDs, prev...)
+		s.compacting = false
+		s.mu.Unlock()
+		return
+	}
+	// Removes run outside the gate: they touch only superseded records. A
+	// failed remove is not fatal — the record replays idempotently underneath
+	// the snapshot — so it is kept for retry at the next compaction instead
+	// of poisoning the journal.
+	kept := prev[:0]
+	for _, old := range prev {
+		if rerr := s.cfg.Journal.Remove(old); rerr != nil && !errors.Is(rerr, stable.ErrNotFound) {
+			kept = append(kept, old)
+		}
+	}
+	s.mu.Lock()
+	s.journalIDs = append(s.journalIDs, sid)
+	s.journalIDs = append(s.journalIDs, kept...)
+	s.stats.JournalCompactions++
+	s.compacting = false
+	s.mu.Unlock()
+}

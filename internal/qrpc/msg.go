@@ -123,19 +123,12 @@ type Ack struct {
 
 // MarshalWire implements wire.Marshaler.
 func (m *Ack) MarshalWire(b *wire.Buffer) {
-	b.PutUvarint(uint64(len(m.Seqs)))
-	for _, s := range m.Seqs {
-		b.PutUvarint(s)
-	}
+	b.PutUvarintSlice(m.Seqs)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (m *Ack) UnmarshalWire(r *wire.Reader) error {
-	n := r.Len()
-	m.Seqs = make([]uint64, 0, n)
-	for i := 0; i < n; i++ {
-		m.Seqs = append(m.Seqs, r.Uvarint())
-	}
+	m.Seqs = r.UvarintSlice()
 	return r.Err()
 }
 

@@ -165,6 +165,10 @@ func (p *workerPool) runChunk(tasks []poolTask) {
 			to = t.from
 		}
 		rep := p.srv.execute(t.sess, t.clientID, t.handler, t.req)
+		if rep == nil {
+			// Journal refused the execute (poisoned): nothing to release.
+			continue
+		}
 		out = append(out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
 	}
 	flush()

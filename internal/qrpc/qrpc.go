@@ -108,4 +108,11 @@ type ServerStats struct {
 	AuthFailures  int64
 	CallbacksSent int64
 	BatchesSent   int64 // FrameBatch frames sent (coalesced reply chunks)
+
+	// Session-journal counters (zero when ServerConfig.Journal is nil).
+	JournalRecords     int64 // exec/ack/prune records appended
+	JournalCompactions int64 // snapshot+truncate cycles completed
+	JournalRefused     int64 // requests refused because the journal is poisoned
+	RecoveredSessions  int64 // sessions rebuilt from the journal at construction
+	RecoveredReplies   int64 // cached replies rebuilt from the journal at construction
 }

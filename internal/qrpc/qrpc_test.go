@@ -894,3 +894,44 @@ func TestWelcomeRoundTrip(t *testing.T) {
 		t.Errorf("%+v", w)
 	}
 }
+
+// TestHelloLowSeqPrunesAckedMap: the client's LowSeq advertisement in Hello
+// is the server's license to forget idempotency state. Acked seqs below the
+// advertised floor must leave session.acked (they can never be redelivered),
+// and the floor must be recorded so late duplicates are still dropped.
+func TestHelloLowSeqPrunesAckedMap(t *testing.T) {
+	up := true
+	snd := &harnessSender{up: &up}
+	srv := NewServer(ServerConfig{ServerID: "srv"})
+	srv.Register("echo", func(_ string, req Request) ([]byte, error) { return req.Args, nil })
+	srv.OnConnect(snd, 0)
+	srv.OnFrame(snd, helloFrame("c1", 1), 0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		srv.OnFrame(snd, requestFrame(seq, "echo", nil), 0)
+	}
+	srv.OnFrame(snd, ackFrame(1, 2), 0)
+	sess := srv.Sessions()
+	if sess[0].AckedPending != 2 || sess[0].CachedReplies != 1 {
+		t.Fatalf("before prune: %+v", sess[0])
+	}
+
+	// Client advertises it will never resend below 3.
+	srv.OnFrame(snd, helloFrame("c1", 3), 0)
+	sess = srv.Sessions()
+	if sess[0].AckedPending != 0 {
+		t.Fatalf("acked map not pruned by LowSeq: %+v", sess[0])
+	}
+	if sess[0].LowSeq != 3 || sess[0].CachedReplies != 1 {
+		t.Fatalf("after prune: %+v", sess[0])
+	}
+
+	// A stale duplicate below the floor is still dropped, not re-executed.
+	snd.queue = nil
+	srv.OnFrame(snd, requestFrame(1, "echo", nil), 0)
+	if len(snd.queue) != 0 {
+		t.Fatal("stale duplicate below LowSeq was answered")
+	}
+	if srv.Stats().Executed != 3 {
+		t.Fatalf("Executed = %d, want 3", srv.Stats().Executed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"rover/internal/auth"
+	"rover/internal/stable"
 	"rover/internal/vtime"
 	"rover/internal/wire"
 )
@@ -36,6 +37,22 @@ type ServerConfig struct {
 	// for dispatched requests to finish (connectionless transports use it
 	// before harvesting replies).
 	Workers int
+	// Journal, when non-nil, is the server's durable session journal: each
+	// executed request's reply is write-ahead-logged here before it is
+	// released, and NewServer replays the journal so exactly-once execution
+	// survives server crashes and restarts — a redelivered request after a
+	// restart is answered from the recovered reply cache instead of
+	// re-running its handler. Journal appends ride the stable log's group
+	// commit, so concurrent workers amortize the durability fsync. If the
+	// journal fails (stable.ErrPoisoned) or cannot be replayed, the server
+	// refuses further executes rather than continue without durability; see
+	// JournalError. The caller owns the log and closes it after Close.
+	Journal stable.Log
+	// JournalCompactEvery bounds the journal: once more than this many live
+	// records accumulate, a background compaction snapshots all session
+	// state into one record and removes the records it supersedes. Zero
+	// selects the default (1024).
+	JournalCompactEvery int
 }
 
 // session is the per-client redelivery state. It lives across transport
@@ -74,9 +91,24 @@ type Server struct {
 	conns    map[Sender]*conn
 	stats    ServerStats
 	pool     *workerPool // nil in inline mode
+
+	// Journal state (see journal.go). jgate orders journal appends against
+	// compaction snapshots: appenders hold the read side across their
+	// append AND the s.mu bookkeeping that tracks the new record's id, so
+	// the write side observes "every live record's effect is in sessions
+	// and its id is in journalIDs" — the invariant compaction relies on.
+	// Lock order: jgate before mu; mu is a leaf elsewhere.
+	jgate      sync.RWMutex
+	journalErr error    // sticky (under mu): recovery or append failure
+	journalIDs []uint64 // under mu: live journal ids compaction may remove
+	compacting bool     // under mu: one background compaction at a time
+	compactWG  sync.WaitGroup
 }
 
-// NewServer builds a server engine.
+// NewServer builds a server engine. When cfg.Journal is set, the journal is
+// replayed to rebuild per-session exactly-once state; if replay fails, the
+// server still constructs but refuses to execute requests (JournalError
+// reports why) — a half-recovered reply cache must never execute.
 func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
 		cfg:      cfg,
@@ -86,6 +118,11 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	if cfg.Workers > 0 {
 		s.pool = newWorkerPool(s, cfg.Workers)
+	}
+	if cfg.Journal != nil {
+		if err := s.recoverJournal(); err != nil {
+			s.journalErr = fmt.Errorf("qrpc: journal recovery: %w", err)
+		}
 	}
 	return s
 }
@@ -192,7 +229,9 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 	cn.authed = true
 	sess := s.sessionLocked(h.ClientID)
 	sess.sender = from
+	pruned := false
 	if h.LowSeq > sess.lowSeq {
+		pruned = true
 		sess.lowSeq = h.LowSeq
 		// Everything below LowSeq has been consumed by the client; cached
 		// replies and ack records there are dead weight.
@@ -209,7 +248,48 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 	}
 	w := &Welcome{ServerID: s.cfg.ServerID, HighSeq: sess.maxExec}
 	s.mu.Unlock()
+	if pruned {
+		// Journal the new floor so recovery discards the same dead weight.
+		// Unlike exec records this is apply-then-log: a lost prune record
+		// only means the recovered acked map is larger until the client's
+		// next Hello advertises the floor again.
+		s.journalSessionRecord(func() []byte { return encodePruneRecord(h.ClientID, h.LowSeq) })
+	}
 	*out = append(*out, wire.Frame{Type: wire.FrameWelcome, Payload: wire.Marshal(w)})
+}
+
+// journalSessionRecord appends one non-exec session record (ack or prune)
+// under the journal gate's read side and tracks its id for compaction. It
+// is a no-op when no journal is configured or the journal is poisoned; an
+// append failure poisons the journal. The in-memory state change these
+// records describe proceeds regardless — losing one costs recovered-state
+// memory, never correctness.
+func (s *Server) journalSessionRecord(encode func() []byte) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.jgate.RLock()
+	defer s.jgate.RUnlock()
+	s.mu.Lock()
+	poisoned := s.journalErr != nil
+	s.mu.Unlock()
+	if poisoned {
+		return
+	}
+	id, err := s.cfg.Journal.Append(encode())
+	s.mu.Lock()
+	if err != nil {
+		s.poisonJournalLocked(err)
+		s.mu.Unlock()
+		return
+	}
+	s.journalIDs = append(s.journalIDs, id)
+	s.stats.JournalRecords++
+	compact := s.shouldCompactLocked()
+	s.mu.Unlock()
+	if compact {
+		go s.compactJournal()
+	}
 }
 
 func (s *Server) sessionLocked(clientID string) *session {
@@ -257,6 +337,15 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time, out *[]w
 		s.mu.Unlock()
 		return
 	}
+	if s.journalErr != nil {
+		// The session journal is poisoned (or never recovered): executing
+		// would release a reply whose durability cannot be guaranteed,
+		// reopening the double-execution window. Cached replays (above)
+		// are still served; new work waits for a repaired incarnation.
+		s.stats.JournalRefused++
+		s.mu.Unlock()
+		return
+	}
 	handler := s.handlers[req.Service]
 	// Marking the request executing at DISPATCH time — before the handler
 	// runs, whether inline or queued to the pool — is what keeps redelivered
@@ -272,14 +361,31 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time, out *[]w
 	}
 	// Inline mode: execute here (outside the lock; handlers may be slow and
 	// may re-enter the server, e.g. SendCallback) and coalesce the reply
-	// with the rest of the batch's output.
-	rep := s.execute(sess, clientID, handler, req)
-	*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+	// with the rest of the batch's output. A nil reply means the journal
+	// refused the execute; nothing may be released.
+	if rep := s.execute(sess, clientID, handler, req); rep != nil {
+		*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+	}
 }
 
 // execute runs a dispatched request's handler outside engine locks, records
-// the reply in the session's at-most-once cache, and returns it.
+// the reply in the session's at-most-once cache, and returns it. When the
+// server has a journal, the reply is write-ahead-logged before it is
+// recorded or returned — no transport can observe a reply the journal does
+// not hold. A nil return means the journal refused the execute (poisoned
+// mid-dispatch or the exec append failed): the handler may or may not have
+// run, nothing is released, and the client redelivers to a future, repaired
+// incarnation whose recovery decides from the journal alone.
 func (s *Server) execute(sess *session, clientID string, handler Handler, req Request) *Reply {
+	if s.cfg.Journal != nil && s.JournalError() != nil {
+		// Poisoned between dispatch and execution (e.g. a queued pool task
+		// behind the append that failed): refuse before running the handler.
+		s.mu.Lock()
+		delete(sess.executing, req.Seq)
+		s.stats.JournalRefused++
+		s.mu.Unlock()
+		return nil
+	}
 	rep := &Reply{Seq: req.Seq}
 	if handler == nil {
 		rep.Status = StatusNoService
@@ -292,6 +398,27 @@ func (s *Server) execute(sess *session, clientID string, handler Handler, req Re
 		rep.Result = result
 	}
 
+	journaled := false
+	var jid uint64
+	if s.cfg.Journal != nil {
+		// The durability write. Concurrent executes from the worker pool
+		// coalesce onto the stable log's group-commit fsync, so this is
+		// amortized, not one sync per request. The gate's read side is held
+		// across append AND the bookkeeping below — see Server.jgate.
+		s.jgate.RLock()
+		defer s.jgate.RUnlock()
+		id, err := s.cfg.Journal.Append(encodeExecRecord(clientID, rep))
+		if err != nil {
+			s.mu.Lock()
+			s.poisonJournalLocked(err)
+			delete(sess.executing, req.Seq)
+			s.stats.JournalRefused++
+			s.mu.Unlock()
+			return nil
+		}
+		jid, journaled = id, true
+	}
+
 	s.mu.Lock()
 	delete(sess.executing, req.Seq)
 	sess.replies[req.Seq] = rep
@@ -299,7 +426,16 @@ func (s *Server) execute(sess *session, clientID string, handler Handler, req Re
 		sess.maxExec = req.Seq
 	}
 	s.stats.Executed++
+	var compact bool
+	if journaled {
+		s.journalIDs = append(s.journalIDs, jid)
+		s.stats.JournalRecords++
+		compact = s.shouldCompactLocked()
+	}
 	s.mu.Unlock()
+	if compact {
+		go s.compactJournal()
+	}
 	return rep
 }
 
@@ -309,17 +445,24 @@ func (s *Server) onAck(from Sender, payload []byte) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cn := s.conns[from]
 	if cn == nil || !cn.authed {
+		s.mu.Unlock()
 		return
 	}
-	sess := s.sessionLocked(cn.clientID)
+	clientID := cn.clientID
+	sess := s.sessionLocked(clientID)
 	for _, seq := range ack.Seqs {
 		delete(sess.replies, seq)
 		sess.acked[seq] = true
 		s.stats.AcksReceived++
 	}
+	s.mu.Unlock()
+	// Journal the acknowledgment so recovery drops these reply payloads
+	// too. Apply-then-log, like prune records: losing an ack record means a
+	// fatter recovered cache, never a correctness violation (the client
+	// already consumed the replies and will not redeliver).
+	s.journalSessionRecord(func() []byte { return encodeAckRecord(clientID, ack.Seqs) })
 }
 
 // SendCallback pushes a notification to a client's current transport. It
@@ -384,12 +527,14 @@ func (s *Server) Quiesce() {
 
 // Close stops the worker pool, discarding requests not yet executing (their
 // clients redeliver to the next server incarnation; at-most-once state is
-// per-session and unaffected). Inline servers have nothing to stop. Close
-// is idempotent.
+// per-session and unaffected), and waits out any background journal
+// compaction so the caller may close the journal log afterwards. Inline
+// servers have nothing to stop. Close is idempotent.
 func (s *Server) Close() error {
 	if s.pool != nil {
 		s.pool.close()
 	}
+	s.compactWG.Wait()
 	return nil
 }
 
@@ -407,7 +552,10 @@ type SessionInfo struct {
 	MaxExecuted   uint64
 	// AckedPending counts ack records awaiting LowSeq pruning.
 	AckedPending int
-	Connected    bool
+	// LowSeq is the highest floor a Hello has advertised (or recovery
+	// replayed): all idempotency state below it has been pruned.
+	LowSeq    uint64
+	Connected bool
 }
 
 // Sessions lists the server's client sessions.
@@ -421,6 +569,7 @@ func (s *Server) Sessions() []SessionInfo {
 			CachedReplies: len(sess.replies),
 			MaxExecuted:   sess.maxExec,
 			AckedPending:  len(sess.acked),
+			LowSeq:        sess.lowSeq,
 			Connected:     sess.sender != nil,
 		})
 	}

@@ -304,7 +304,8 @@ func (l *FileLog) writeRecord(kind byte, id uint64, payload []byte) error {
 // next leader. Durability is never weakened: no Append or Remove returns
 // success before its own bytes are flushed. An fsync failure is sticky —
 // after the kernel fails a flush the page-cache state is unknowable, so
-// the log is poisoned and every waiter and later append gets the error.
+// the log is poisoned and every waiter and later append gets the same
+// typed *PoisonedError (errors.Is(err, ErrPoisoned); see Poisoned).
 func (l *FileLog) commitLocked(seq uint64) error {
 	if l.opts.NoSync {
 		return nil
@@ -333,7 +334,7 @@ func (l *FileLog) commitLocked(seq uint64) error {
 		l.mu.Lock()
 		l.syncing = false
 		if err != nil {
-			l.syncErr = fmt.Errorf("stable: sync: %w", err)
+			l.syncErr = &PoisonedError{Cause: err}
 		} else {
 			if target > l.syncedSeq {
 				l.syncedSeq = target
@@ -457,6 +458,15 @@ func (l *FileLog) Replay(fn func(id uint64, rec []byte) error) error {
 	return nil
 }
 
+// Poisoned reports the sticky *PoisonedError set by the first failed
+// group-commit fsync, or nil while the log is healthy. Once non-nil, every
+// Append and Remove returns the same error.
+func (l *FileLog) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
+}
+
 // TornTail reports the torn trailing record recovery truncated at open, as
 // a *TornTailError (errors.Is(err, ErrTornTail) is true), or nil if the
 // file ended cleanly. Callers that care about the lost in-flight append —
@@ -508,7 +518,7 @@ func (l *FileLog) Close() error {
 			l.syncedSeq = l.writeSeq
 			l.stats.Syncs++
 		} else {
-			l.syncErr = fmt.Errorf("stable: sync: %w", err)
+			l.syncErr = &PoisonedError{Cause: err}
 		}
 	}
 	l.synced.Broadcast()

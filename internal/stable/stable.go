@@ -39,6 +39,12 @@ var (
 	// the signature of a crash mid-append. Recovery truncates the torn
 	// record and continues; FileLog.TornTail reports it afterwards.
 	ErrTornTail = errors.New("stable: torn record at log tail")
+	// ErrPoisoned marks a log whose group-commit fsync failed. After the
+	// kernel fails a flush the page-cache state is unknowable, so the log
+	// refuses all further appends and removes rather than pretend the data
+	// is durable. Match with errors.Is; the concrete *PoisonedError carries
+	// the original fsync failure.
+	ErrPoisoned = errors.New("stable: log poisoned by failed sync")
 )
 
 // TornTailError carries the byte offset of a torn trailing record detected
@@ -55,6 +61,28 @@ func (e *TornTailError) Error() string {
 
 // Unwrap makes errors.Is(e, ErrTornTail) true.
 func (e *TornTailError) Unwrap() error { return ErrTornTail }
+
+// PoisonedError is the sticky error a log returns once a group-commit
+// fsync has failed: the first failure is remembered and every subsequent
+// Append/Remove (and any waiter that was riding the failed flush) gets it.
+// Durability-critical callers — the QRPC server's session journal — treat
+// it as fatal and refuse further work instead of continuing without
+// durability. It matches errors.Is(err, ErrPoisoned) and unwraps to the
+// underlying fsync failure.
+type PoisonedError struct {
+	// Cause is the original fsync error that poisoned the log.
+	Cause error
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("stable: log poisoned by failed sync: %v", e.Cause)
+}
+
+// Unwrap exposes the original fsync failure.
+func (e *PoisonedError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(e, ErrPoisoned) true without hiding the cause chain.
+func (e *PoisonedError) Is(target error) bool { return target == ErrPoisoned }
 
 // MaxRecord bounds a single log record.
 const MaxRecord = 32 << 20

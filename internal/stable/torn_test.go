@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -144,5 +145,43 @@ func TestFileLogCleanOpenHasNoTornTail(t *testing.T) {
 	defer l.Close()
 	if err := l.TornTail(); err != nil {
 		t.Errorf("TornTail() = %v on a clean file", err)
+	}
+}
+
+// TestPoisonedErrorTyping pins the contract consumers (the QRPC server
+// journal, chaos harnesses) rely on: a poisoned log reports a typed error
+// that matches the ErrPoisoned sentinel via errors.Is and unwraps to the
+// sync failure that caused it.
+func TestPoisonedErrorTyping(t *testing.T) {
+	cause := errors.New("fsync: input/output error")
+	var err error = &PoisonedError{Cause: cause}
+	if !errors.Is(err, ErrPoisoned) {
+		t.Error("PoisonedError does not match ErrPoisoned sentinel")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("PoisonedError does not unwrap to its cause")
+	}
+	if !strings.Contains(err.Error(), "poisoned") || !strings.Contains(err.Error(), cause.Error()) {
+		t.Errorf("Error() = %q", err.Error())
+	}
+	// A fresh sentinel comparison must not match arbitrary errors.
+	if errors.Is(cause, ErrPoisoned) {
+		t.Error("plain error matched ErrPoisoned")
+	}
+}
+
+// TestFileLogHealthyNotPoisoned: the accessor reports nil until a sync
+// actually fails.
+func TestFileLogHealthyNotPoisoned(t *testing.T) {
+	l, err := OpenFileLog(filepath.Join(t.TempDir(), "wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Poisoned(); err != nil {
+		t.Fatalf("Poisoned = %v on a healthy log", err)
 	}
 }

@@ -114,6 +114,15 @@ func (b *Buffer) PutStringSlice(ss []string) {
 	}
 }
 
+// PutUvarintSlice appends the slice as a count followed by each element in
+// unsigned LEB128 form (sequence-number sets in acks and journal records).
+func (b *Buffer) PutUvarintSlice(xs []uint64) {
+	b.PutUvarint(uint64(len(xs)))
+	for _, x := range xs {
+		b.PutUvarint(x)
+	}
+}
+
 // PutRaw appends p verbatim, with no length prefix.
 func (b *Buffer) PutRaw(p []byte) { b.b = append(b.b, p...) }
 
@@ -286,6 +295,26 @@ func (r *Reader) StringSlice() []string {
 		}
 	}
 	return ss
+}
+
+// UvarintSlice reads a count-prefixed slice of uvarints.
+func (r *Reader) UvarintSlice() []uint64 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxSliceLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	xs := make([]uint64, 0, min(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		xs = append(xs, r.Uvarint())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return xs
 }
 
 // Len reads a count-prefixed length for a repeated field, validating it

@@ -300,3 +300,46 @@ func TestFixedWidthTruncation(t *testing.T) {
 		t.Errorf("Uint64: %v", r2.Err())
 	}
 }
+
+func TestUvarintSliceRoundTrip(t *testing.T) {
+	cases := [][]uint64{nil, {}, {0}, {1, 2, 3}, {math.MaxUint64, 0, 42}}
+	for _, xs := range cases {
+		var b Buffer
+		b.PutUvarintSlice(xs)
+		r := NewReader(b.Bytes())
+		got := r.UvarintSlice()
+		if r.Err() != nil {
+			t.Fatalf("%v: Err = %v", xs, r.Err())
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("%v: got %v", xs, got)
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("%v: got %v", xs, got)
+			}
+		}
+	}
+}
+
+func TestUvarintSliceLimit(t *testing.T) {
+	var b Buffer
+	b.PutUvarint(MaxSliceLen + 1)
+	r := NewReader(b.Bytes())
+	r.UvarintSlice()
+	if r.Err() != ErrTooLarge {
+		t.Errorf("oversized uvarint slice: got %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestUvarintSliceTruncated(t *testing.T) {
+	var b Buffer
+	b.PutUvarint(1 << 19) // huge claimed count, no elements — alloc must be capped
+	r := NewReader(b.Bytes())
+	if got := r.UvarintSlice(); got != nil {
+		t.Errorf("truncated slice: got %v", got)
+	}
+	if r.Err() != ErrTruncated {
+		t.Errorf("Err = %v, want ErrTruncated", r.Err())
+	}
+}

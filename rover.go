@@ -441,14 +441,28 @@ type ServerOptions struct {
 	// single-threaded scheduler, as the virtual-time benchmark harness
 	// does.
 	Workers int
+	// JournalPath, when set, opens a file-backed session journal at that
+	// path. Every executed request's reply is write-ahead-logged before it
+	// is released, and a restarted server replays the journal so
+	// redelivered requests are answered from the recovered reply cache
+	// instead of re-executing — exactly-once across server crashes, not
+	// just client crashes. NewServer fails if a journal exists but cannot
+	// be replayed (a server must not start with partial exactly-once
+	// state). The journal is compacted in the background and closed by
+	// Server.Close.
+	JournalPath string
+	// JournalCompactEvery overrides the journal compaction threshold
+	// (records appended since the last snapshot); zero means the default.
+	JournalCompactEvery int
 }
 
 // Server is a Rover home server: QRPC engine + object store + conflict
 // pipeline.
 type Server struct {
-	engine *qrpc.Server
-	srv    *server.Server
-	opts   ServerOptions
+	engine  *qrpc.Server
+	srv     *server.Server
+	journal stable.Log // nil unless JournalPath is set
+	opts    ServerOptions
 }
 
 // NewServer builds a server.
@@ -473,12 +487,35 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if workers < 0 {
 		workers = 0 // inline execution
 	}
-	engine := qrpc.NewServer(qrpc.ServerConfig{ServerID: opts.ServerID, Auth: reg, Workers: workers})
-	srv, err := server.New(server.Config{Engine: engine, InvokeBudget: opts.InvokeBudget})
-	if err != nil {
+	var journal stable.Log
+	if opts.JournalPath != "" {
+		jl, err := stable.OpenFileLog(opts.JournalPath, stable.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("rover: session journal: %w", err)
+		}
+		journal = jl
+	}
+	engine := qrpc.NewServer(qrpc.ServerConfig{
+		ServerID:            opts.ServerID,
+		Auth:                reg,
+		Workers:             workers,
+		Journal:             journal,
+		JournalCompactEvery: opts.JournalCompactEvery,
+	})
+	if err := engine.JournalError(); err != nil {
+		if journal != nil {
+			journal.Close()
+		}
 		return nil, err
 	}
-	s := &Server{engine: engine, srv: srv, opts: opts}
+	srv, err := server.New(server.Config{Engine: engine, InvokeBudget: opts.InvokeBudget})
+	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
+		return nil, err
+	}
+	s := &Server{engine: engine, srv: srv, journal: journal, opts: opts}
 	if opts.SnapshotPath != "" {
 		if err := srv.Store().Load(opts.SnapshotPath); err == nil {
 			// loaded existing snapshot
@@ -508,9 +545,18 @@ func (s *Server) ListenTCP(addr string) (*transport.TCPServer, error) {
 }
 
 // Close stops the server's worker pool, dropping queued-but-unstarted
-// requests (clients redeliver from their stable logs, so nothing is lost).
-// Transports attached via ListenTCP are closed separately by their handles.
-func (s *Server) Close() error { return s.engine.Close() }
+// requests (clients redeliver from their stable logs, so nothing is lost),
+// then closes the session journal if one is configured. Transports attached
+// via ListenTCP are closed separately by their handles.
+func (s *Server) Close() error {
+	err := s.engine.Close()
+	if s.journal != nil {
+		if jerr := s.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
 
 // SaveSnapshot persists the object store to the configured snapshot path.
 func (s *Server) SaveSnapshot() error {

@@ -240,3 +240,79 @@ func TestFacadeResolverRegistration(t *testing.T) {
 		t.Errorf("conflicts: %+v", confs)
 	}
 }
+
+func TestFacadeJournalRecoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "sessions.journal")
+	snap := filepath.Join(dir, "store.snap")
+
+	srv, err := NewServer(ServerOptions{ServerID: "home", JournalPath: jpath, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Seed(notesObject(t, "notes")); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientOptions{ClientID: "laptop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	link := cli.ConnectPipe(srv)
+	link.SetConnected(true)
+	u := MustParseURN("urn:rover:home/notes")
+	if _, err := cli.ImportWait(ctx(t), u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Invoke(u, "add", "before crash"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cli.Tentative(u) {
+		if time.Now().After(deadline) {
+			t.Fatal("never committed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Engine().Stats().JournalRecords == 0 {
+		t.Fatal("journaled server recorded nothing")
+	}
+	link.SetConnected(false)
+	if err := srv.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the new incarnation replays the session journal, so the
+	// laptop's session (its executed seqs and cached replies) survives the
+	// server crash and the client can simply reconnect and keep going.
+	srv2, err := NewServer(ServerOptions{ServerID: "home", JournalPath: jpath, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got := srv2.Engine().Stats().RecoveredSessions; got != 1 {
+		t.Fatalf("RecoveredSessions = %d, want 1", got)
+	}
+	link2 := cli.ConnectPipe(srv2)
+	link2.SetConnected(true)
+	if _, err := cli.Invoke(u, "add", "after restart"); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for cli.Tentative(u) {
+		if time.Now().After(deadline) {
+			t.Fatal("post-restart invoke never committed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, err := srv2.Store().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Get("n1"); v != "after restart" {
+		t.Errorf("post-restart state %q", v)
+	}
+}
