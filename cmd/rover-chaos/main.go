@@ -52,6 +52,7 @@ var (
 	scenarioFlag = flag.String("scenario", "", "scenario to run: all, sim, pipe, mail, crash, crash-server")
 	transport_   = flag.String("transport", "", "deprecated alias for -scenario")
 	verbose      = flag.Bool("v", false, "print per-schedule stats")
+	compress     = flag.Bool("compress", false, "clients advertise the compressed-batch capability (exercises the fault schedules over compressed frames)")
 )
 
 type runner struct {
@@ -117,6 +118,7 @@ func runSim(seed int64, verbose bool) error {
 	if err != nil {
 		return err
 	}
+	cli.SetCompression(*compress)
 	srv := qrpc.NewServer(qrpc.ServerConfig{ServerID: "chaos-srv"})
 	execs := map[uint64]int{} // single-threaded under the scheduler
 	srv.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
@@ -262,6 +264,7 @@ func runPipe(seed int64, verbose bool) error {
 			return err
 		}
 		defer cli.Close()
+		cli.Engine().SetCompression(*compress)
 		clis[ci] = cli
 		pipes[ci] = cli.ConnectPipe(srv)
 		pipes[ci].SetConnected(true)
@@ -351,11 +354,15 @@ func runMail(seed int64, verbose bool) error {
 		p.OnComplete(func(p *qrpc.Promise) { completions[p.Seq()]++ })
 	}
 	newEngine := func() (*qrpc.Client, error) {
-		return qrpc.NewClient(qrpc.ClientConfig{
+		c, err := qrpc.NewClient(qrpc.ClientConfig{
 			ClientID:    "chaos-mail",
 			Log:         log,
 			OnRecovered: func(_ qrpc.Request, p *qrpc.Promise) { track(p) },
 		})
+		if err == nil {
+			c.SetCompression(*compress)
+		}
+		return c, err
 	}
 	cli, err := newEngine()
 	if err != nil {
@@ -492,6 +499,7 @@ func runCrash(seed int64, verbose bool) error {
 			flog.Close()
 			return nil, nil, err
 		}
+		cli.SetCompression(*compress)
 		return cli, flog, nil
 	}
 
@@ -625,6 +633,7 @@ func runCrashServer(seed int64, verbose bool) error {
 	if err != nil {
 		return err
 	}
+	cli.SetCompression(*compress)
 	track := func(p *qrpc.Promise) {
 		p.OnComplete(func(p *qrpc.Promise) {
 			mu.Lock()

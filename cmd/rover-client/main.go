@@ -33,6 +33,7 @@ func main() {
 		clientID = flag.String("id", "rover-client", "client identity")
 		logPath  = flag.String("log", "", "stable log path (empty: in-memory, no crash recovery)")
 		keyHex   = flag.String("key", "", "hex auth key")
+		compress = flag.Bool("compress", false, "advertise wire compression (used when the server supports it)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		ClientID: *clientID,
 		LogPath:  *logPath,
 		KeyHex:   *keyHex,
+		Compress: *compress,
 		Stdout:   os.Stdout,
 		OnConflict: func(u rover.URN, msg string) {
 			fmt.Printf("\n! conflict on %s: %s\n> ", u, msg)

@@ -82,16 +82,18 @@ type Status struct {
 
 // Stats counts access-manager activity for the benchmark harness.
 type Stats struct {
-	CacheServes   int64 // imports answered locally
-	ImportsSent   int64
-	NotModified   int64
-	LocalInvokes  int64
-	RemoteInvokes int64
-	ExportsSent   int64
-	Conflicts     int64
-	Prefetches    int64
-	Invalidations int64
-	Shed          int64 // QRPCs refused by pending-queue backpressure
+	CacheServes    int64 // imports answered locally
+	ImportsSent    int64
+	NotModified    int64
+	DeltaImports   int64 // imports satisfied by replaying an op delta
+	DeltaFallbacks int64 // delta replies that fell back to a full import
+	LocalInvokes   int64
+	RemoteInvokes  int64
+	ExportsSent    int64
+	Conflicts      int64
+	Prefetches     int64
+	Invalidations  int64
+	Shed           int64 // QRPCs refused by pending-queue backpressure
 }
 
 // Config configures an access manager.
@@ -210,13 +212,23 @@ func (am *AccessManager) Import(u urn.URN, opts ImportOptions) *Future[*rdo.Obje
 	am.mu.Unlock()
 
 	f := newFuture[*rdo.Object]()
-	prom, err := am.enqueue(proto.SvcImport, &proto.ImportArgs{URN: u, HaveVersion: haveVersion}, opts.Priority)
+	am.importRemote(u, haveVersion, opts.Priority, f)
+	return f
+}
+
+// importRemote queues the server round trip of an import and wires its
+// completion into f. It may be re-entered once: a delta reply the cache
+// cannot apply falls back to a full import with HaveVersion 0 chained to
+// the same future, and the server never answers HaveVersion 0 with a
+// delta, so the recursion terminates.
+func (am *AccessManager) importRemote(u urn.URN, haveVersion uint64, p qrpc.Priority, f *Future[*rdo.Object]) {
+	prom, err := am.enqueue(proto.SvcImport, &proto.ImportArgs{URN: u, HaveVersion: haveVersion}, p)
 	if err != nil {
 		f.resolve(nil, err)
-		return f
+		return
 	}
-	prom.OnComplete(func(p *qrpc.Promise) {
-		res, perr, _ := p.Result()
+	prom.OnComplete(func(pr *qrpc.Promise) {
+		res, perr, _ := pr.Result()
 		if perr != nil {
 			f.resolve(nil, perr)
 			return
@@ -241,6 +253,21 @@ func (am *AccessManager) Import(u urn.URN, opts ImportOptions) *Future[*rdo.Obje
 			f.resolve(obj, nil)
 			return
 		}
+		if rep.Delta {
+			if out, ok := am.applyDelta(u, &rep); ok {
+				f.resolve(out, nil)
+				return
+			}
+			// The delta no longer matches what we hold (entry evicted or
+			// moved, replay failed, or the checksum disagreed): re-import
+			// the whole object.
+			am.mu.Lock()
+			am.stats.DeltaFallbacks++
+			am.stats.ImportsSent++
+			am.mu.Unlock()
+			am.importRemote(u, 0, p, f)
+			return
+		}
 		obj, err := rdo.Decode(rep.Object)
 		if err != nil {
 			f.resolve(nil, err)
@@ -254,7 +281,49 @@ func (am *AccessManager) Import(u urn.URN, opts ImportOptions) *Future[*rdo.Obje
 		am.mu.Unlock()
 		f.resolve(out, nil)
 	})
-	return f
+}
+
+// applyDelta advances the cached committed copy of u by replaying a delta
+// reply's invocations, verifying the result against the server's checksum
+// before adopting it. ok=false means the caller must fall back to a full
+// import: the cache entry is gone or at a different committed version
+// than the delta's base, the replay erred (e.g. the method needs a
+// server-only host command), or the replayed state does not match the
+// server's byte-for-byte.
+func (am *AccessManager) applyDelta(u urn.URN, rep *proto.ImportReply) (*rdo.Object, bool) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	e, ok := am.cache.Peek(u)
+	if !ok || e.CommittedVersion != rep.FromVersion || rep.NewVersion <= rep.FromVersion {
+		return nil, false
+	}
+	// Replay against the PRISTINE committed copy — the working copy may
+	// carry tentative operations, which adoptCommittedLocked rebases on
+	// top of the new committed state afterwards, same as a full import.
+	pristine := e.Obj
+	if e.Committed != nil {
+		pristine = e.Committed
+	}
+	base := pristine.Clone()
+	env, err := am.newEnvLocked(base)
+	if err != nil {
+		return nil, false
+	}
+	for _, op := range rep.Ops {
+		if _, err := env.Invoke(op.Method, op.Args...); err != nil {
+			return nil, false
+		}
+	}
+	env.TakeOps() // replayed committed ops are not tentative
+	base.Version = rep.NewVersion
+	if proto.ObjectCheck(base.Encode()) != rep.Check {
+		return nil, false
+	}
+	am.stats.DeltaImports++
+	am.adoptCommittedLocked(base)
+	am.sess.RecordRead(u, base.Version)
+	e2, _ := am.cache.Get(u)
+	return e2.Obj.Clone(), true
 }
 
 // adoptCommittedLocked installs a fresh committed copy, replaying any

@@ -112,6 +112,11 @@ type SimStackOptions struct {
 	NoFlush   bool          // force zero flush cost
 	ClientID  string
 	Seed      int64
+	// Compress makes the client advertise the compressed-batch capability in
+	// its Hello. It must be decided before construction: the simulated link
+	// fires the connect handshake immediately, so flipping compression later
+	// would miss the capability exchange.
+	Compress bool
 }
 
 // NewSimStack builds the full production stack over a simulated link.
@@ -138,6 +143,7 @@ func NewSimStack(opts SimStackOptions) (*SimStack, error) {
 	if err != nil {
 		return nil, err
 	}
+	cli.Engine().SetCompression(opts.Compress)
 	link := transport.NewSim(sched, opts.Link, opts.Seed, cli.Engine(), srv.Engine())
 	cli.AttachTransport(link)
 	return &SimStack{Sched: sched, Server: srv, Client: cli, Link: link}, nil

@@ -38,6 +38,7 @@ func init() {
 	register(16, "ABATCH", "ablation: mail-transport batching", ExpABatch)
 	register(17, "FIFACE", "extension: roaming across interfaces", ExpFIface)
 	register(18, "FMOSAIC", "extension: browsing over queued e-mail", ExpFMosaic)
+	register(19, "ABWIRE", "bandwidth layer: compression + delta re-import", ExpABWire)
 }
 
 // Lookup returns an experiment by ID.

@@ -1,0 +1,55 @@
+// Package compress holds the one deflate policy shared by every layer
+// that trades CPU for bytes: the stable log's record compression and the
+// wire protocol's compressed frame batches. Keeping the level and the
+// size caps in a single place means an ablation (or a tuning change)
+// moves the whole stack at once.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+)
+
+// ErrTooLarge reports an inflated payload exceeding the caller's cap — a
+// corrupt or hostile input, since writers never produce one.
+var ErrTooLarge = errors.New("compress: inflated payload too large")
+
+// Deflate compresses p with flate at BestSpeed, reporting ok=false when
+// compression does not help (the output would be as large as the input,
+// or the compressor failed). Callers store the original bytes in that
+// case; speed matters more than ratio on the hot path.
+func Deflate(p []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := w.Write(p); err != nil {
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(p) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// Inflate decompresses p, refusing to produce more than max bytes:
+// corrupt (or malicious) input must not balloon into unbounded memory.
+// Oversize input returns ErrTooLarge; any other decode failure returns
+// the flate error.
+func Inflate(p []byte, max int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(p))
+	dec, err := io.ReadAll(io.LimitReader(r, int64(max)+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(dec) > max {
+		return nil, ErrTooLarge
+	}
+	return dec, nil
+}

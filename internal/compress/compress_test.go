@@ -1,0 +1,56 @@
+package compress
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func TestDeflateRoundTrip(t *testing.T) {
+	p := bytes.Repeat([]byte("rover wire frame "), 200)
+	c, ok := Deflate(p)
+	if !ok {
+		t.Fatalf("Deflate declined compressible input")
+	}
+	if len(c) >= len(p) {
+		t.Fatalf("Deflate output not smaller: %d >= %d", len(c), len(p))
+	}
+	got, err := Inflate(c, len(p))
+	if err != nil {
+		t.Fatalf("Inflate: %v", err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestDeflateSkipsIncompressible(t *testing.T) {
+	p := make([]byte, 4096)
+	if _, err := rand.Read(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Deflate(p); ok {
+		t.Fatalf("Deflate claimed to shrink random bytes")
+	}
+}
+
+func TestInflateCap(t *testing.T) {
+	p := bytes.Repeat([]byte{'x'}, 10_000)
+	c, ok := Deflate(p)
+	if !ok {
+		t.Fatalf("Deflate declined")
+	}
+	if _, err := Inflate(c, len(p)-1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Inflate under cap: err=%v, want ErrTooLarge", err)
+	}
+	if got, err := Inflate(c, len(p)); err != nil || len(got) != len(p) {
+		t.Fatalf("Inflate at cap: %d bytes, err=%v", len(got), err)
+	}
+}
+
+func TestInflateGarbage(t *testing.T) {
+	if _, err := Inflate([]byte{0xff, 0x00, 0x12, 0x34}, 1024); err == nil {
+		t.Fatalf("Inflate accepted garbage")
+	}
+}

@@ -219,8 +219,21 @@ func (d *Duplex) Send(from Side, f wire.Frame) bool {
 	// the whole batch at txEnd instead would impose head-of-line blocking
 	// the real byte stream does not have, defeating the network scheduler's
 	// priority ordering on slow links.
-	if f.Type == wire.FrameBatch {
-		if subs, err := wire.UnbatchFrames(f.Payload); err == nil && len(subs) > 0 {
+	// A compressed batch occupies the channel for its COMPRESSED size
+	// (that is the whole point — onWire and total above already reflect
+	// it), but streams its inflated sub-frames off the link across that
+	// shorter window. A frame that fails to inflate is delivered whole;
+	// the receiving engine drops it like any corrupt frame.
+	batchPayload := f.Payload
+	isBatch := f.Type == wire.FrameBatch
+	if f.Type == wire.FrameBatchZ {
+		if zf, err := wire.InflateBatchFrame(f); err == nil {
+			batchPayload = zf.Payload
+			isBatch = true
+		}
+	}
+	if isBatch {
+		if subs, err := wire.UnbatchFrames(batchPayload); err == nil && len(subs) > 0 {
 			sizes := make([]int64, len(subs))
 			var sum int64
 			for i, sub := range subs {

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"rover/internal/wire"
+)
+
+func zBatchOf(t *testing.T, n int) (wire.Frame, []wire.Frame) {
+	t.Helper()
+	frames := make([]wire.Frame, n)
+	for i := range frames {
+		frames[i] = wire.Frame{Type: wire.FrameRequest, Payload: []byte(strings.Repeat("rover toolkit ", 30))}
+	}
+	zf := wire.CoalesceFrames(frames, true)
+	if zf.Type != wire.FrameBatchZ {
+		t.Fatal("setup: frames did not compress")
+	}
+	return zf, frames
+}
+
+// TestZBatchChargedAtCompressedSize pins the point of the whole exercise:
+// the channel is occupied for the COMPRESSED bytes, while the receiver
+// still gets the individual sub-frames and logical accounting counts them.
+func TestZBatchChargedAtCompressedSize(t *testing.T) {
+	spec := CSLIP14k4
+	s, d, _, b := newPair(spec)
+	zf, frames := zBatchOf(t, 3)
+	if !d.Send(SideA, zf) {
+		t.Fatal("Send failed")
+	}
+	s.Run(100)
+	if len(b.frames) != 3 {
+		t.Fatalf("delivered %d frames, want the 3 inflated sub-frames", len(b.frames))
+	}
+	for i, f := range b.frames {
+		if f.Type != wire.FrameRequest || string(f.Payload) != string(frames[i].Payload) {
+			t.Fatalf("sub-frame %d mangled in transit", i)
+		}
+	}
+	st := d.Stats()
+	wantBytes := int64(wire.EncodedFrameSize(len(zf.Payload)) + spec.FrameOverhead)
+	if st.BytesAB != wantBytes {
+		t.Errorf("BytesAB = %d, want the compressed wire size %d", st.BytesAB, wantBytes)
+	}
+	rawSize := int64(wire.EncodedFrameSize(3 * len(frames[0].Payload)))
+	if st.BytesAB >= rawSize {
+		t.Errorf("compressed accounting (%d) not below raw payload size (%d)", st.BytesAB, rawSize)
+	}
+	if st.FramesAB != 1 {
+		t.Errorf("FramesAB = %d, want 1 physical frame", st.FramesAB)
+	}
+	if st.LogicalAB != 3 {
+		t.Errorf("LogicalAB = %d, want 3 application frames", st.LogicalAB)
+	}
+	// Last sub-frame arrives after the COMPRESSED transmit window, which
+	// is far shorter than the raw batch would need.
+	zWindow := spec.TransmitTime(wire.EncodedFrameSize(len(zf.Payload))+spec.FrameOverhead) + spec.Latency
+	if got := b.times[len(b.times)-1].Duration(); got > zWindow {
+		t.Errorf("last delivery at %v, after the compressed window %v", got, zWindow)
+	}
+}
+
+// TestZBatchCorruptDeliveredWhole: a Z frame whose payload no longer
+// inflates is delivered as-is (the endpoint's inflate will fail and drop
+// it) — the simulator must not panic or double-charge.
+func TestZBatchCorruptDeliveredWhole(t *testing.T) {
+	s, d, _, b := newPair(Ethernet10)
+	zf, _ := zBatchOf(t, 2)
+	for i := len(zf.Payload) - 6; i < len(zf.Payload); i++ {
+		zf.Payload[i] ^= 0xFF
+	}
+	if !d.Send(SideA, zf) {
+		t.Fatal("Send failed")
+	}
+	s.Run(100)
+	if len(b.frames) != 1 || b.frames[0].Type != wire.FrameBatchZ {
+		t.Fatalf("corrupt Z batch not delivered whole: %d frames", len(b.frames))
+	}
+}

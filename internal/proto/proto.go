@@ -6,11 +6,24 @@ package proto
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"rover/internal/rdo"
 	"rover/internal/urn"
 	"rover/internal/wire"
 )
+
+// objectCheckTable is the polynomial for ObjectCheck (Castagnoli, like
+// every other checksum in the toolkit).
+var objectCheckTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ObjectCheck computes the delta-import integrity checksum over an
+// object's wire encoding (rdo.Object.Encode is deterministic — state
+// pairs are sorted — so server and client agree byte-for-byte whenever
+// their replays agree).
+func ObjectCheck(encoded []byte) uint32 {
+	return crc32.Checksum(encoded, objectCheckTable)
+}
 
 // Service names. These are the "well-defined interface" through which all
 // client/server interaction flows.
@@ -83,22 +96,64 @@ func (m *ImportArgs) UnmarshalWire(r *wire.Reader) error {
 	return parseURN(us, &m.URN)
 }
 
-// ImportReply returns the object (or a not-modified marker).
+// ImportReply returns the object, a not-modified marker, or — when the
+// client revalidated with a recent version the server still has operation
+// history for — a delta: just the invocations that advance the client's
+// committed copy to the current version. The delta fields trail the
+// original encoding and are omitted entirely when Delta is false, so
+// pre-delta decoders (which reject trailing bytes) still read every full
+// and not-modified reply a new server produces.
 type ImportReply struct {
 	NotModified bool
-	Object      []byte // wire-encoded rdo.Object when !NotModified
+	Object      []byte // wire-encoded rdo.Object when !NotModified && !Delta
+
+	// Delta form: replay Ops (oldest first) against the committed copy at
+	// FromVersion to obtain NewVersion. Check is ObjectCheck of the
+	// server's post-replay encoding; a client whose replay disagrees
+	// falls back to a full import.
+	Delta       bool
+	FromVersion uint64
+	NewVersion  uint64
+	Ops         []rdo.Invocation
+	Check       uint32
 }
 
 // MarshalWire implements wire.Marshaler.
 func (m *ImportReply) MarshalWire(b *wire.Buffer) {
 	b.PutBool(m.NotModified)
 	b.PutBytes(m.Object)
+	if !m.Delta {
+		return
+	}
+	b.PutBool(true)
+	b.PutUvarint(m.FromVersion)
+	b.PutUvarint(m.NewVersion)
+	b.PutUvarint(uint64(len(m.Ops)))
+	for i := range m.Ops {
+		m.Ops[i].MarshalWire(b)
+	}
+	b.PutUint32(m.Check)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (m *ImportReply) UnmarshalWire(r *wire.Reader) error {
 	m.NotModified = r.Bool()
 	m.Object = r.Bytes()
+	m.Delta = false
+	if r.Err() != nil || r.Remaining() == 0 {
+		return r.Err()
+	}
+	m.Delta = r.Bool()
+	m.FromVersion = r.Uvarint()
+	m.NewVersion = r.Uvarint()
+	n := r.Len()
+	m.Ops = make([]rdo.Invocation, n)
+	for i := 0; i < n; i++ {
+		if err := m.Ops[i].UnmarshalWire(r); err != nil {
+			return err
+		}
+	}
+	m.Check = r.Uint32()
 	return r.Err()
 }
 

@@ -104,6 +104,13 @@ type Client struct {
 	frameScratch []wire.Frame
 	batchScratch []*pendingReq
 	deferScratch []*pendingReq
+
+	// Wire-compression negotiation state. compressWanted is the link
+	// policy's wish (sched.Selector sets it per interface); peerCaps is
+	// what the server's Welcome granted this session. Outbound frames
+	// compress only when both agree.
+	compressWanted bool
+	peerCaps       uint64
 }
 
 // NewClient builds a client engine, replaying any requests that survive in
@@ -282,6 +289,7 @@ func (c *Client) OnConnect(s Sender, now vtime.Time) {
 	c.sender = s
 	c.connected = true
 	c.authBad = false
+	c.peerCaps = 0 // a new session must re-negotiate capabilities
 	c.stats.Connects++
 	// Anything sent on a previous connection but unreplied must go again.
 	for _, pr := range c.pend {
@@ -375,6 +383,15 @@ func (c *Client) NextReadyAt(now vtime.Time) (vtime.Time, bool) {
 // deferred to the end of the batch so that one batch of replies produces
 // one piggybacked ack frame instead of N.
 func (c *Client) OnFrame(f wire.Frame, now vtime.Time) {
+	if f.Type == wire.FrameBatchZ {
+		// A corrupt compressed batch is dropped like any damaged frame;
+		// redelivery recovers its contents.
+		zf, err := wire.InflateBatchFrame(f)
+		if err != nil {
+			return
+		}
+		f = zf
+	}
 	if f.Type == wire.FrameBatch {
 		subs, err := wire.UnbatchFrames(f.Payload)
 		if err != nil {
@@ -402,6 +419,12 @@ func (c *Client) onFrame(f wire.Frame, now vtime.Time, pump bool) {
 			c.cfg.OnCallback(cb.Topic, cb.Payload)
 		}
 	case wire.FrameWelcome:
+		var w Welcome
+		if err := wire.Unmarshal(f.Payload, &w); err == nil {
+			c.mu.Lock()
+			c.peerCaps = w.Caps
+			c.mu.Unlock()
+		}
 		c.Pump(now)
 	case wire.FrameAuthReject:
 		c.mu.Lock()
@@ -522,12 +545,11 @@ func (c *Client) pumpLocked(now vtime.Time) {
 		if len(frames) == 0 {
 			return
 		}
-		var sent bool
-		if len(frames) == 1 {
-			sent = c.sender.SendFrame(frames[0])
-		} else {
-			sent = c.sender.SendFrame(wire.BatchFrames(frames))
-		}
+		// Compress only when policy wants it AND the server's Welcome
+		// granted the capability this session.
+		zOK := c.compressWanted && c.peerCaps&CapCompressedBatch != 0
+		out := wire.CoalesceFrames(frames, zOK)
+		sent := c.sender.SendFrame(out)
 		if !sent {
 			// Link refused; retry after next connect. Requests go back on the
 			// queue unchanged, acks stay pending — nothing was transmitted.
@@ -538,6 +560,9 @@ func (c *Client) pumpLocked(now vtime.Time) {
 		}
 		if len(frames) > 1 {
 			c.stats.BatchesSent++
+		}
+		if out.Type == wire.FrameBatchZ {
+			c.stats.ZBatchesSent++
 		}
 		if ackCount > 0 {
 			c.stats.AcksSent += int64(ackCount)
@@ -580,12 +605,22 @@ func (c *Client) lowSeqLocked() uint64 {
 }
 
 func (c *Client) sendHelloLocked() {
+	c.sender.SendFrame(c.helloLocked())
+}
+
+// helloLocked builds the session-open frame, advertising the compressed-
+// batch capability whenever the link policy wants compression (the server
+// grants it back in the Welcome).
+func (c *Client) helloLocked() wire.Frame {
 	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: c.lowSeqLocked()}
+	if c.compressWanted {
+		h.Caps |= CapCompressedBatch
+	}
 	if c.cfg.Key != nil {
 		h.Nonce = c.nonce()
 		h.Proof = auth.Prove(c.cfg.Key, c.cfg.ClientID, h.Nonce)
 	}
-	c.sender.SendFrame(wire.Frame{Type: wire.FrameHello, Payload: wire.Marshal(h)})
+	return wire.Frame{Type: wire.FrameHello, Payload: wire.Marshal(h)}
 }
 
 func (c *Client) nonce() []byte {
@@ -602,12 +637,19 @@ func (c *Client) nonce() []byte {
 func (c *Client) Hello() wire.Frame {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	h := &Hello{ClientID: c.cfg.ClientID, LowSeq: c.lowSeqLocked()}
-	if c.cfg.Key != nil {
-		h.Nonce = c.nonce()
-		h.Proof = auth.Prove(c.cfg.Key, c.cfg.ClientID, h.Nonce)
-	}
-	return wire.Frame{Type: wire.FrameHello, Payload: wire.Marshal(h)}
+	return c.helloLocked()
+}
+
+// SetCompression sets whether this client WANTS wire compression —
+// normally decided per network interface by the scheduler (compress on
+// CSLIP and WaveLAN, skip on Ethernet). Taking effect requires a server
+// grant, negotiated at the next Hello/Welcome exchange: callers flip it
+// before OnConnect. Frames never compress toward a server that did not
+// advertise the capability.
+func (c *Client) SetCompression(on bool) {
+	c.mu.Lock()
+	c.compressWanted = on
+	c.mu.Unlock()
 }
 
 // Status returns the current user-notification snapshot.

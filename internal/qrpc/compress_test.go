@@ -1,0 +1,168 @@
+package qrpc
+
+import (
+	"strings"
+	"testing"
+
+	"rover/internal/wire"
+)
+
+// TestCapsOmittedWhenZero pins mixed-version interop: a Hello or Welcome
+// with no capabilities encodes byte-identically to the pre-capability
+// format, and the pre-capability bytes decode with Caps == 0. Old peers
+// reject messages with trailing bytes, so this is load-bearing.
+func TestCapsOmittedWhenZero(t *testing.T) {
+	h := &Hello{ClientID: "c", Nonce: []byte{1, 2}, Proof: []byte{3}, LowSeq: 4}
+	enc := wire.Marshal(h)
+	// Re-encode by hand in the old format (no trailing caps field).
+	var b wire.Buffer
+	b.PutString(h.ClientID)
+	b.PutBytes(h.Nonce)
+	b.PutBytes(h.Proof)
+	b.PutUvarint(h.LowSeq)
+	if string(enc) != string(b.Bytes()) {
+		t.Fatal("Hello with zero caps does not match the pre-capability encoding")
+	}
+	var back Hello
+	if err := wire.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Caps != 0 {
+		t.Fatalf("old-format Hello decoded Caps = %d, want 0", back.Caps)
+	}
+
+	hz := &Hello{ClientID: "c", Caps: CapCompressedBatch}
+	var hzBack Hello
+	if err := wire.Unmarshal(wire.Marshal(hz), &hzBack); err != nil {
+		t.Fatal(err)
+	}
+	if hzBack.Caps != CapCompressedBatch {
+		t.Fatalf("Caps = %d, want %d", hzBack.Caps, CapCompressedBatch)
+	}
+
+	w := &Welcome{ServerID: "s", HighSeq: 9}
+	var wb wire.Buffer
+	wb.PutString(w.ServerID)
+	wb.PutUvarint(w.HighSeq)
+	if string(wire.Marshal(w)) != string(wb.Bytes()) {
+		t.Fatal("Welcome with zero caps does not match the pre-capability encoding")
+	}
+	var wBack Welcome
+	if err := wire.Unmarshal(wb.Bytes(), &wBack); err != nil {
+		t.Fatal(err)
+	}
+	if wBack.Caps != 0 {
+		t.Fatalf("old-format Welcome decoded Caps = %d, want 0", wBack.Caps)
+	}
+}
+
+// bigEcho registers an echo handler and enqueues n highly compressible
+// requests, then settles the link.
+func pumpCompressible(h *harness, n int) {
+	payload := []byte(strings.Repeat("rover toolkit mobile information access ", 30))
+	for i := 0; i < n; i++ {
+		if _, err := h.client.Enqueue("echo", payload, PriorityNormal, h.now); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.client.Pump(h.now)
+	h.settle()
+}
+
+func TestCompressionNegotiatedEndToEnd(t *testing.T) {
+	h := newHarness(t, ClientConfig{}, ServerConfig{ServerID: "srv"})
+	h.server.Register("echo", echoHandler)
+	h.client.SetCompression(true)
+	h.connect()
+	pumpCompressible(h, 4)
+	if h.client.Stats().ZBatchesSent == 0 {
+		t.Error("client never sent a compressed batch despite negotiation")
+	}
+	if h.server.Stats().ZBatchesSent == 0 {
+		t.Error("server never compressed replies despite the client's capability")
+	}
+	// All requests completed: compressed frames decode to the same traffic.
+	if p := h.client.Pending(); p != 0 {
+		t.Errorf("%d requests still pending", p)
+	}
+}
+
+func TestCompressionOffWithoutClientOptIn(t *testing.T) {
+	h := newHarness(t, ClientConfig{}, ServerConfig{ServerID: "srv"})
+	h.server.Register("echo", echoHandler)
+	h.connect()
+	pumpCompressible(h, 4)
+	if z := h.client.Stats().ZBatchesSent; z != 0 {
+		t.Errorf("client sent %d compressed batches without opting in", z)
+	}
+	if z := h.server.Stats().ZBatchesSent; z != 0 {
+		t.Errorf("server sent %d compressed batches to a capless client", z)
+	}
+}
+
+// TestCompressionOffAgainstOldServer simulates a peer that predates the
+// capability: its Welcome carries no caps, so the client must never emit
+// a Z frame even though compression is enabled locally.
+func TestCompressionOffAgainstOldServer(t *testing.T) {
+	h := newHarness(t, ClientConfig{}, ServerConfig{ServerID: "srv"})
+	h.client.SetCompression(true)
+	h.up = true
+	h.client.OnConnect(h.cs, h.now)
+	h.cs.queue = nil // discard the Hello; we play the server by hand
+	old := &Welcome{ServerID: "old-srv", HighSeq: 0}
+	h.client.OnFrame(wire.Frame{Type: wire.FrameWelcome, Payload: wire.Marshal(old)}, h.now)
+
+	payload := []byte(strings.Repeat("compressible compressible ", 40))
+	if _, err := h.client.Enqueue("echo", payload, PriorityNormal, h.now); err != nil {
+		t.Fatal(err)
+	}
+	h.client.Pump(h.now)
+	for _, f := range h.cs.queue {
+		if f.Type == wire.FrameBatchZ {
+			t.Fatal("client sent FrameBatchZ to a server that never advertised the capability")
+		}
+	}
+	if h.client.Stats().ZBatchesSent != 0 {
+		t.Error("ZBatchesSent nonzero against an old server")
+	}
+}
+
+// TestCorruptZBatchDroppedAndRedelivered pins the recovery contract: a
+// Z frame whose deflated tail is mangled in flight is dropped like a bad
+// checksum, and retransmission completes the request.
+func TestCorruptZBatchDroppedAndRedelivered(t *testing.T) {
+	h := newHarness(t, ClientConfig{}, ServerConfig{ServerID: "srv"})
+	h.server.Register("echo", echoHandler)
+	h.client.SetCompression(true)
+	h.connect()
+
+	payload := []byte(strings.Repeat("rover toolkit mobile information access ", 30))
+	p, err := h.client.Enqueue("echo", payload, PriorityNormal, h.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.client.Pump(h.now)
+	if len(h.cs.queue) != 1 || h.cs.queue[0].Type != wire.FrameBatchZ {
+		t.Fatalf("expected one Z frame queued, got %d frames (first %v)", len(h.cs.queue), h.cs.queue[0].Type)
+	}
+	// Corrupt the deflated tail in flight and deliver it.
+	bad := h.cs.queue[0]
+	h.cs.queue = nil
+	bad.Payload = append([]byte(nil), bad.Payload...)
+	for i := len(bad.Payload) - 6; i < len(bad.Payload); i++ {
+		bad.Payload[i] ^= 0xFF
+	}
+	h.server.OnFrame(h.sc, bad, h.now)
+	if len(h.sc.queue) != 0 {
+		t.Fatal("server acted on a corrupt compressed batch")
+	}
+	if _, _, done := p.Result(); done {
+		t.Fatal("request completed off a corrupt frame")
+	}
+	// Retransmit (a reconnect cycle redelivers everything unacked).
+	h.disconnect()
+	h.connect()
+	if res, rerr, done := p.Result(); !done || rerr != nil || len(res) == 0 {
+		t.Fatalf("request not recovered after corrupt Z frame: %v %v %v", res, rerr, done)
+	}
+}

@@ -9,6 +9,19 @@ import (
 // Protocol messages. Each is the payload of one wire.Frame whose type tag
 // is the corresponding wire.Frame* constant.
 
+// Capability bits advertised in the Hello/Welcome exchange. Caps is an
+// OPTIONAL trailing field: encoders omit it when zero (so a peer with
+// nothing to advertise emits exactly the pre-capability wire format) and
+// decoders read it only when bytes remain. That keeps both directions
+// compatible with peers built before capabilities existed — an old
+// decoder rejects trailing bytes, so a new encoder must never send any
+// to a peer that has not proven it understands them. The server echoes
+// capabilities only to clients that advertised some.
+const (
+	// CapCompressedBatch: the peer can decode wire.FrameBatchZ frames.
+	CapCompressedBatch uint64 = 1 << 0
+)
+
 // Hello opens (or resumes) a session: client -> server, first frame after
 // every connect, and the header of every mail-transport batch.
 type Hello struct {
@@ -24,6 +37,9 @@ type Hello struct {
 	// LowSeq is the lowest unacknowledged sequence number in the client's
 	// stable log; the server may discard idempotency state below it.
 	LowSeq uint64
+	// Caps advertises optional protocol capabilities (Cap* bits). Zero is
+	// omitted from the encoding; see the Cap constants.
+	Caps uint64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -32,6 +48,9 @@ func (m *Hello) MarshalWire(b *wire.Buffer) {
 	b.PutBytes(m.Nonce)
 	b.PutBytes(m.Proof)
 	b.PutUvarint(m.LowSeq)
+	if m.Caps != 0 {
+		b.PutUvarint(m.Caps)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -40,6 +59,10 @@ func (m *Hello) UnmarshalWire(r *wire.Reader) error {
 	m.Nonce = r.Bytes()
 	m.Proof = r.Bytes()
 	m.LowSeq = r.Uvarint()
+	m.Caps = 0
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Caps = r.Uvarint()
+	}
 	return r.Err()
 }
 
@@ -50,18 +73,29 @@ type Welcome struct {
 	// this client (diagnostic; redelivery correctness does not depend on
 	// it).
 	HighSeq uint64
+	// Caps is the intersection of the client's advertised capabilities and
+	// the server's own. Zero is omitted from the encoding, and a server
+	// never sends a nonzero Caps to a client whose Hello carried none.
+	Caps uint64
 }
 
 // MarshalWire implements wire.Marshaler.
 func (m *Welcome) MarshalWire(b *wire.Buffer) {
 	b.PutString(m.ServerID)
 	b.PutUvarint(m.HighSeq)
+	if m.Caps != 0 {
+		b.PutUvarint(m.Caps)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (m *Welcome) UnmarshalWire(r *wire.Reader) error {
 	m.ServerID = r.String()
 	m.HighSeq = r.Uvarint()
+	m.Caps = 0
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Caps = r.Uvarint()
+	}
 	return r.Err()
 }
 

@@ -92,10 +92,11 @@ type ClientStats struct {
 	Resent      int64 // request frames sent more than once
 	Replies     int64
 	Duplicates  int64 // replies for already-completed requests
-	AcksSent    int64
-	BatchesSent int64 // FrameBatch frames sent (coalesced pump cycles)
-	Connects    int64
-	Disconnects int64
+	AcksSent     int64
+	BatchesSent  int64 // FrameBatch frames sent (coalesced pump cycles)
+	ZBatchesSent int64 // compressed (FrameBatchZ) frames sent
+	Connects     int64
+	Disconnects  int64
 }
 
 // ServerStats counts server-engine activity.
@@ -108,6 +109,7 @@ type ServerStats struct {
 	AuthFailures  int64
 	CallbacksSent int64
 	BatchesSent   int64 // FrameBatch frames sent (coalesced reply chunks)
+	ZBatchesSent  int64 // compressed (FrameBatchZ) frames sent
 
 	// Session-journal counters (zero when ServerConfig.Journal is nil).
 	JournalRecords     int64 // exec/ack/prune records appended

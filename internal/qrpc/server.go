@@ -75,10 +75,12 @@ type session struct {
 	sender  Sender // most recent transport, for callbacks
 }
 
-// conn is per-transport state: which client the transport authenticated as.
+// conn is per-transport state: which client the transport authenticated
+// as, and which optional capabilities its Hello advertised.
 type conn struct {
 	clientID string
 	authed   bool
+	caps     uint64
 }
 
 // Server is the server-side QRPC engine: it dispatches requests to
@@ -161,6 +163,14 @@ func (s *Server) OnDisconnect(from Sender, now vtime.Time) {
 // single frame toward the sender.
 func (s *Server) OnFrame(from Sender, f wire.Frame, now vtime.Time) {
 	var out []wire.Frame
+	if f.Type == wire.FrameBatchZ {
+		// Drop corrupt compressed batches; the client redelivers.
+		zf, err := wire.InflateBatchFrame(f)
+		if err != nil {
+			return
+		}
+		f = zf
+	}
 	if f.Type == wire.FrameBatch {
 		subs, err := wire.UnbatchFrames(f.Payload)
 		if err != nil {
@@ -190,19 +200,32 @@ func (s *Server) handleFrame(from Sender, f wire.Frame, now vtime.Time, out *[]w
 	}
 }
 
-// sendCoalesced delivers the collected response frames to a sender: nothing,
-// the lone frame, or one FrameBatch for several.
+// sendCoalesced delivers the collected response frames to a sender:
+// nothing, the lone frame, or one batch for several — compressed when the
+// connection's Hello advertised the compressed-batch capability (a single
+// frame may also compress then: a large import reply is exactly the case
+// the capability exists for).
 func (s *Server) sendCoalesced(to Sender, out []wire.Frame) {
-	switch len(out) {
-	case 0:
-	case 1:
-		to.SendFrame(out[0])
-	default:
-		if to.SendFrame(wire.BatchFrames(out)) {
-			s.mu.Lock()
+	if len(out) == 0 {
+		return
+	}
+	s.mu.Lock()
+	cn := s.conns[to]
+	zOK := cn != nil && cn.caps&CapCompressedBatch != 0
+	s.mu.Unlock()
+	f := wire.CoalesceFrames(out, zOK)
+	if !to.SendFrame(f) {
+		return
+	}
+	if len(out) > 1 || f.Type == wire.FrameBatchZ {
+		s.mu.Lock()
+		if len(out) > 1 {
 			s.stats.BatchesSent++
-			s.mu.Unlock()
 		}
+		if f.Type == wire.FrameBatchZ {
+			s.stats.ZBatchesSent++
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -227,6 +250,10 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 	}
 	cn.clientID = h.ClientID
 	cn.authed = true
+	// Record the intersection of the client's capabilities and ours.
+	// Clients that advertised nothing get nothing — including no Caps
+	// field in the Welcome, which pre-capability decoders would reject.
+	cn.caps = h.Caps & CapCompressedBatch
 	sess := s.sessionLocked(h.ClientID)
 	sess.sender = from
 	pruned := false
@@ -246,7 +273,7 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 			}
 		}
 	}
-	w := &Welcome{ServerID: s.cfg.ServerID, HighSeq: sess.maxExec}
+	w := &Welcome{ServerID: s.cfg.ServerID, HighSeq: sess.maxExec, Caps: cn.caps}
 	s.mu.Unlock()
 	if pruned {
 		// Journal the new floor so recovery discards the same dead weight.

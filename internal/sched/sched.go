@@ -26,6 +26,21 @@ import (
 	"rover/internal/wire"
 )
 
+// CompressThreshold is the link quality (bits/s) below which the selector
+// asks the engine for wire compression. The paper's link roster sorts
+// cleanly: CSLIP at 2.4/14.4 Kbit/s and WaveLAN at 2 Mbit/s are starved
+// enough that deflate CPU always pays for itself, while 10 Mbit/s
+// Ethernet is fast enough that compression only adds latency.
+const CompressThreshold int64 = 5_000_000
+
+// CompressFor reports whether the link policy wants wire compression for
+// an interface of the given quality (conventionally bits/s). Unknown
+// quality (<= 0) gets no compression — never guess on behalf of a link
+// we cannot rank.
+func CompressFor(quality int64) bool {
+	return quality > 0 && quality < CompressThreshold
+}
+
 // Interface is one candidate network attachment.
 type Interface struct {
 	// Name identifies the interface in status displays ("ethernet",
@@ -97,6 +112,9 @@ func (s *Selector) SetUp(name string, up bool, now vtime.Time) {
 		s.client.OnDisconnect(now)
 	}
 	if best != nil {
+		// Set the compression wish BEFORE OnConnect so the Hello the
+		// engine sends on the new link advertises the right capability.
+		s.client.SetCompression(CompressFor(best.Quality))
 		s.client.OnConnect(best.Sender, now)
 	}
 }

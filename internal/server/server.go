@@ -179,10 +179,35 @@ func (s *Server) handleImport(clientID string, req qrpc.Request) ([]byte, error)
 	rep := proto.ImportReply{}
 	if args.HaveVersion != 0 && args.HaveVersion == obj.Version {
 		rep.NotModified = true
-	} else {
-		rep.Object = obj.Encode()
+		return wire.Marshal(&rep), nil
 	}
-	return wire.Marshal(&rep), nil
+	rep.Object = obj.Encode()
+	full := wire.Marshal(&rep)
+	if args.HaveVersion == 0 || args.HaveVersion > obj.Version {
+		// HaveVersion 0 never yields a delta — the client's checksum-
+		// mismatch fallback re-imports with 0 and relies on that to
+		// terminate. A client AHEAD of the server (we were restored from
+		// an old backup) needs the authoritative full object: its "newer"
+		// copy describes a history this server no longer has.
+		return full, nil
+	}
+	ops, newVer, ok := s.store.OpsSince(args.URN, args.HaveVersion)
+	if !ok || newVer != obj.Version {
+		// History pruned, interrupted by an opaque commit, or the object
+		// moved between Get and OpsSince: ship the full object.
+		return full, nil
+	}
+	d := proto.ImportReply{
+		Delta:       true,
+		FromVersion: args.HaveVersion,
+		NewVersion:  newVer,
+		Ops:         ops,
+		Check:       proto.ObjectCheck(rep.Object),
+	}
+	if enc := wire.Marshal(&d); len(enc) < len(full) {
+		return enc, nil
+	}
+	return full, nil // the delta didn't actually save bytes
 }
 
 func (s *Server) handleExport(clientID string, req qrpc.Request) ([]byte, error) {
@@ -209,7 +234,18 @@ func (s *Server) handleExport(clientID string, req qrpc.Request) ([]byte, error)
 			return nil, err
 		}
 		if commit {
-			newVer, err := s.store.Commit(obj, cur)
+			var newVer uint64
+			if rep.Outcome == proto.OutcomeCommitted {
+				// A clean commit is a deterministic replay of the shipped
+				// operations, so record them as delta-import history. A
+				// RESOLVED outcome is not: the resolver may have applied
+				// different operations than the client sent, so recording
+				// args.Invs would corrupt client-side delta replay — the
+				// plain Commit below clears the object's history instead.
+				newVer, err = s.store.CommitOps(obj, cur, args.Invs)
+			} else {
+				newVer, err = s.store.Commit(obj, cur)
+			}
 			if err != nil {
 				continue // lost a race; re-resolve on fresh state
 			}
@@ -368,7 +404,10 @@ func (s *Server) handleInvoke(clientID string, req qrpc.Request) ([]byte, error)
 		}
 		rep := proto.InvokeReply{Result: result}
 		if len(env.TakeOps()) > 0 {
-			newVer, err := s.store.Commit(obj, cur)
+			// A server-side invoke is as deterministic as a replayed
+			// export; record it so revalidating clients can fetch a delta.
+			inv := rdo.Invocation{Object: args.URN, Method: args.Method, Args: args.Args, BaseVer: cur}
+			newVer, err := s.store.CommitOps(obj, cur, []rdo.Invocation{inv})
 			if err != nil {
 				continue // raced; re-execute against fresh state
 			}

@@ -1,8 +1,6 @@
 package stable
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -12,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"rover/internal/compress"
 )
 
 // FileLog is a crash-safe append-only file log.
@@ -191,13 +191,9 @@ func parseRecord(p []byte) (parsedRecord, int, error) {
 		stored := p[off : off+int(storedLen)]
 		off += int(storedLen)
 		if flags&flagCompressed != 0 {
-			r := flate.NewReader(bytes.NewReader(stored))
-			dec, err := io.ReadAll(io.LimitReader(r, MaxRecord+1))
+			dec, err := compress.Inflate(stored, MaxRecord)
 			if err != nil {
 				return parsedRecord{}, 0, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
-			}
-			if len(dec) > MaxRecord {
-				return parsedRecord{}, 0, fmt.Errorf("%w: inflated record too large", ErrCorrupt)
 			}
 			payload = dec
 		} else {
@@ -274,7 +270,7 @@ func (l *FileLog) writeRecord(kind byte, id uint64, payload []byte) error {
 		stored := payload
 		flags := byte(0)
 		if l.opts.Compress && len(payload) > 64 {
-			if c, ok := deflate(payload); ok {
+			if c, ok := compress.Deflate(payload); ok {
 				stored = c
 				flags = flagCompressed
 			}
@@ -344,25 +340,6 @@ func (l *FileLog) commitLocked(seq uint64) error {
 		l.synced.Broadcast()
 	}
 	return nil
-}
-
-// deflate compresses p, reporting ok=false when compression does not help.
-func deflate(p []byte) ([]byte, bool) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return nil, false
-	}
-	if _, err := w.Write(p); err != nil {
-		return nil, false
-	}
-	if err := w.Close(); err != nil {
-		return nil, false
-	}
-	if buf.Len() >= len(p) {
-		return nil, false
-	}
-	return buf.Bytes(), true
 }
 
 // maybeCompactLocked rewrites the log when it holds mostly dead records.

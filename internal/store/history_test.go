@@ -1,0 +1,136 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"rover/internal/rdo"
+)
+
+func inv(o *rdo.Object, n int) rdo.Invocation {
+	return rdo.Invocation{Object: o.URN, Method: "add", Args: []string{fmt.Sprintf("%d", n)}}
+}
+
+// commitN applies n CommitOps commits of one invocation each.
+func commitN(t *testing.T, s *Store, o *rdo.Object, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		cur, err := s.Get(o.URN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.CommitOps(cur, cur.Version, []rdo.Invocation{inv(o, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpsSinceContiguous(t *testing.T) {
+	s := New()
+	o := obj("h")
+	if err := s.Create(o); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, o, 5) // versions 2..6
+	ops, newVer, ok := s.OpsSince(o.URN, 1)
+	if !ok || newVer != 6 || len(ops) != 5 {
+		t.Fatalf("OpsSince(1) = %d ops to v%d, ok=%v; want 5 ops to v6", len(ops), newVer, ok)
+	}
+	if ops[0].Args[0] != "0" || ops[4].Args[0] != "4" {
+		t.Fatalf("ops out of order: %v", ops)
+	}
+	ops, newVer, ok = s.OpsSince(o.URN, 4)
+	if !ok || newVer != 6 || len(ops) != 2 {
+		t.Fatalf("OpsSince(4) = %d ops to v%d, ok=%v; want 2 ops to v6", len(ops), newVer, ok)
+	}
+	// Current version: empty but contiguous history is still not a delta
+	// source — callers use NotModified for that; OpsSince(cur) yields ok
+	// with zero ops only if a rec matches, which it cannot.
+	if _, _, ok := s.OpsSince(o.URN, 6); ok {
+		t.Fatal("OpsSince(current version) reported ok")
+	}
+	// A from before recorded history cannot be served.
+	if _, _, ok := s.OpsSince(o.URN, 0); ok {
+		t.Fatal("OpsSince(0) reported ok; version 1 was a Create, not an op")
+	}
+}
+
+func TestHistoryPrunedToLimit(t *testing.T) {
+	s := New()
+	s.SetHistoryLimit(3)
+	o := obj("h")
+	if err := s.Create(o); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, o, 10) // versions 2..11; only 9..11 retained
+	if _, _, ok := s.OpsSince(o.URN, 1); ok {
+		t.Fatal("pruned history served a stale base")
+	}
+	ops, newVer, ok := s.OpsSince(o.URN, 8)
+	if !ok || newVer != 11 || len(ops) != 3 {
+		t.Fatalf("OpsSince(8) = %d ops to v%d, ok=%v; want the 3 retained ops", len(ops), newVer, ok)
+	}
+}
+
+func TestPlainCommitClearsHistory(t *testing.T) {
+	s := New()
+	o := obj("h")
+	if err := s.Create(o); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, o, 3) // versions 2..4
+	cur, _ := s.Get(o.URN)
+	// A plain Commit is an opaque state jump (e.g. a resolver rewrote the
+	// object): everything before it is no longer replayable.
+	if _, err := s.Commit(cur, cur.Version); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.OpsSince(o.URN, 1); ok {
+		t.Fatal("history served across an opaque commit")
+	}
+	if _, _, ok := s.OpsSince(o.URN, 4); ok {
+		t.Fatal("the opaque commit itself was served as a delta")
+	}
+	// History resumes recording after the jump.
+	commitN(t, s, o, 2)
+	if ops, newVer, ok := s.OpsSince(o.URN, 5); !ok || newVer != 7 || len(ops) != 2 {
+		t.Fatalf("post-jump OpsSince(5) = %d ops to v%d, ok=%v", len(ops), newVer, ok)
+	}
+}
+
+func TestHistoryDisabled(t *testing.T) {
+	s := New()
+	o := obj("h")
+	if err := s.Create(o); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, o, 3)
+	s.SetHistoryLimit(-1) // disables and clears
+	if _, _, ok := s.OpsSince(o.URN, 1); ok {
+		t.Fatal("disabled history still serves deltas")
+	}
+	commitN(t, s, o, 2)
+	if _, _, ok := s.OpsSince(o.URN, 4); ok {
+		t.Fatal("disabled history recorded new commits")
+	}
+}
+
+func TestDeleteClearsHistory(t *testing.T) {
+	s := New()
+	o := obj("h")
+	if err := s.Create(o); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, o, 2)
+	if err := s.Delete(o.URN); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate at version 1: old history must not leak into the new life.
+	o2 := obj("h")
+	if err := s.Create(o2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.OpsSince(o2.URN, 1); ok {
+		t.Fatal("history survived delete + recreate")
+	}
+}

@@ -27,6 +27,11 @@ var (
 	ErrExists   = errors.New("store: object already exists")
 )
 
+// DefaultHistoryLimit bounds the per-object invocation history kept for
+// delta imports: at most this many versions back from the current one
+// can be reconstructed as an operation delta.
+const DefaultHistoryLimit = 32
+
 // Store holds the committed objects of one server. All methods are safe
 // for concurrent use; returned objects are clones, so callers can mutate
 // freely.
@@ -35,6 +40,22 @@ type Store struct {
 	objs     map[urn.URN]*rdo.Object
 	repairs  []Conflict
 	modCount uint64
+
+	// history holds, per object, the invocations that produced recent
+	// versions — the raw material for delta imports (ship the ops since
+	// the client's version instead of the whole object). Entry i of a
+	// history slice carries the ops that advanced the object TO version
+	// hist[i].ver. Only CommitOps records history; a plain Commit is an
+	// opaque state jump and clears the object's history, because a delta
+	// spanning it cannot be represented.
+	history      map[urn.URN][]opsRec
+	historyLimit int // 0 selects DefaultHistoryLimit; negative disables
+}
+
+// opsRec is one history entry: the invocations that produced version ver.
+type opsRec struct {
+	ver  uint64
+	invs []rdo.Invocation
 }
 
 // Conflict is a repair-queue entry: operations that could not be merged.
@@ -49,7 +70,38 @@ type Conflict struct {
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{objs: make(map[urn.URN]*rdo.Object)}
+	return &Store{
+		objs:    make(map[urn.URN]*rdo.Object),
+		history: make(map[urn.URN][]opsRec),
+	}
+}
+
+// SetHistoryLimit changes how many versions of invocation history the
+// store retains per object: 0 restores the default, a negative value
+// disables history entirely (every import ships the full object — the
+// bench harness's "no delta" ablation). Shrinking the limit prunes
+// existing histories immediately.
+func (s *Store) SetHistoryLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.historyLimit = n
+	if n < 0 {
+		s.history = make(map[urn.URN][]opsRec)
+		return
+	}
+	limit := s.effectiveHistoryLimitLocked()
+	for u, h := range s.history {
+		if len(h) > limit {
+			s.history[u] = append([]opsRec(nil), h[len(h)-limit:]...)
+		}
+	}
+}
+
+func (s *Store) effectiveHistoryLimitLocked() int {
+	if s.historyLimit == 0 {
+		return DefaultHistoryLimit
+	}
+	return s.historyLimit
 }
 
 // Create inserts a new object at version 1. The object's Version field is
@@ -63,6 +115,7 @@ func (s *Store) Create(obj *rdo.Object) error {
 	cp := obj.Clone()
 	cp.Version = 1
 	s.objs[obj.URN] = cp
+	delete(s.history, obj.URN) // a re-created URN starts with no past
 	s.modCount++
 	return nil
 }
@@ -108,8 +161,87 @@ func (s *Store) Commit(obj *rdo.Object, expect uint64) (uint64, error) {
 	cp := obj.Clone()
 	cp.Version = cur.Version + 1
 	s.objs[obj.URN] = cp
+	// A plain Commit records no operations: this version is an opaque
+	// jump, and any delta spanning it would silently skip state. Drop the
+	// object's history so OpsSince refuses rather than lies.
+	delete(s.history, obj.URN)
 	s.modCount++
 	return cp.Version, nil
+}
+
+// CommitOps is Commit for a version produced by deterministically
+// replaying invs against the previous state: it additionally records invs
+// in the object's bounded history, so later imports by clients holding a
+// recent version can fetch just the operations instead of the object.
+func (s *Store) CommitOps(obj *rdo.Object, expect uint64, invs []rdo.Invocation) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.objs[obj.URN]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, obj.URN)
+	}
+	if cur.Version != expect {
+		return 0, fmt.Errorf("store: commit race on %s: store at %d, caller read %d",
+			obj.URN, cur.Version, expect)
+	}
+	cp := obj.Clone()
+	cp.Version = cur.Version + 1
+	s.objs[obj.URN] = cp
+	s.modCount++
+	if s.historyLimit < 0 || len(invs) == 0 {
+		// History disabled, or a no-op commit (version advanced with no
+		// recorded operations): treat like a plain Commit.
+		delete(s.history, obj.URN)
+		return cp.Version, nil
+	}
+	cpInvs := make([]rdo.Invocation, len(invs))
+	copy(cpInvs, invs)
+	h := append(s.history[obj.URN], opsRec{ver: cp.Version, invs: cpInvs})
+	if limit := s.effectiveHistoryLimitLocked(); len(h) > limit {
+		h = append([]opsRec(nil), h[len(h)-limit:]...)
+	}
+	s.history[obj.URN] = h
+	return cp.Version, nil
+}
+
+// OpsSince returns the invocations that advance the object from version
+// `from` to its current version, oldest first, with ok=true only when the
+// history is contiguous over that whole span. ok=false means the caller
+// must fall back to shipping the full object (history pruned, a plain
+// Commit intervened, or `from` is not behind the current version).
+func (s *Store) OpsSince(u urn.URN, from uint64) ([]rdo.Invocation, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cur, ok := s.objs[u]
+	if !ok || from >= cur.Version {
+		return nil, 0, false
+	}
+	h := s.history[u]
+	// Find the entry that produced version from+1; the span from there to
+	// the tail must be exactly from+1 .. cur.Version with no gaps.
+	start := -1
+	for i, rec := range h {
+		if rec.ver == from+1 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, 0, false
+	}
+	want := from
+	var out []rdo.Invocation
+	for _, rec := range h[start:] {
+		if rec.ver != want+1 {
+			return nil, 0, false
+		}
+		want = rec.ver
+		out = append(out, rec.invs...)
+	}
+	if want != cur.Version {
+		return nil, 0, false
+	}
+	return out, cur.Version, true
 }
 
 // Delete removes an object.
@@ -120,6 +252,7 @@ func (s *Store) Delete(u urn.URN) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, u)
 	}
 	delete(s.objs, u)
+	delete(s.history, u)
 	s.modCount++
 	return nil
 }
@@ -246,6 +379,8 @@ func (s *Store) Load(path string) error {
 	}
 	s.mu.Lock()
 	s.objs = objs
+	// Snapshots carry no operation history; loaded versions are opaque.
+	s.history = make(map[urn.URN][]opsRec)
 	s.modCount++
 	s.mu.Unlock()
 	return nil

@@ -167,6 +167,14 @@ func (s *captureSender) take() []wire.Frame {
 	defer s.mu.Unlock()
 	out := make([]wire.Frame, 0, len(s.frames))
 	for _, f := range s.frames {
+		// Compressed batches inflate first (an engine may coalesce replies
+		// into one when the envelope's Hello advertised the capability);
+		// the spool's envelope batching subsumes wire-level compression.
+		if f.Type == wire.FrameBatchZ {
+			if zf, err := wire.InflateBatchFrame(f); err == nil {
+				f = zf
+			}
+		}
 		if f.Type == wire.FrameBatch {
 			if subs, err := wire.UnbatchFrames(f.Payload); err == nil {
 				out = append(out, subs...)

@@ -99,12 +99,20 @@ func BatchCount(p []byte) (int, error) {
 }
 
 // LogicalFrames returns how many application frames f represents: the
-// sub-frame count for a well-formed batch, 1 otherwise.
+// sub-frame count for a well-formed batch (plain or compressed), 1
+// otherwise. Compressed batches are not inflated — their header
+// duplicates the count for exactly this purpose.
 func LogicalFrames(f Frame) int {
-	if f.Type != FrameBatch {
+	var n int
+	var err error
+	switch f.Type {
+	case FrameBatch:
+		n, err = BatchCount(f.Payload)
+	case FrameBatchZ:
+		n, err = ZBatchCount(f.Payload)
+	default:
 		return 1
 	}
-	n, err := BatchCount(f.Payload)
 	if err != nil {
 		return 1
 	}

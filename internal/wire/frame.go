@@ -37,6 +37,7 @@ const (
 	FramePong       byte = 8
 	FrameBatch      byte = 9  // multiple coalesced frames in one transport frame (see batch.go)
 	FrameAuthReject byte = 10 // server -> client authentication failure
+	FrameBatchZ     byte = 11 // deflate-compressed FrameBatch (see batchz.go); negotiated
 )
 
 // frame header constants.
@@ -196,6 +197,8 @@ func FrameTypeName(t byte) string {
 		return "batch"
 	case FrameAuthReject:
 		return "auth-reject"
+	case FrameBatchZ:
+		return "batch-z"
 	default:
 		return fmt.Sprintf("unknown(%d)", t)
 	}

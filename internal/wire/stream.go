@@ -51,6 +51,16 @@ func (s *StreamReader) Next() (Frame, error) {
 		}
 		f, err := ReadFrame(s.r)
 		if err == nil {
+			if f.Type == FrameBatchZ {
+				// Inflate here so corruption that survives the CRC (bytes
+				// mangled before framing) is frame loss, not stream death.
+				zf, zerr := InflateBatchFrame(f)
+				if zerr != nil {
+					s.SkippedFrames++
+					continue
+				}
+				f = zf
+			}
 			return f, nil
 		}
 		switch {

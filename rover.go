@@ -162,6 +162,10 @@ type ClientOptions struct {
 	KeyHex string
 	// CacheBytes bounds the object cache (<= 0 unbounded).
 	CacheBytes int
+	// Compress advertises the compressed-batch capability to servers;
+	// frames are deflated only when the peer also supports it and the
+	// compressed form is smaller on the wire.
+	Compress bool
 	// MaxPendingQRPC bounds the pending request queue (<= 0 unbounded):
 	// past it, prefetches are shed; past twice it, every new request fails
 	// fast with access.ErrShedLoad instead of growing the stable log while
@@ -246,6 +250,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine.SetCompression(opts.Compress)
 	clock := opts.Clock
 	if clock == nil {
 		clock = vtime.NewRealClock()
