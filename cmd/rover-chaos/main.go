@@ -10,16 +10,21 @@
 //     up exactly its unanswered requests — no loss, no double-complete;
 //   - ack durability: reply caches drain once acknowledgements land.
 //
-// Five scenarios cover the transports and both ends of the connection:
+// Six scenarios cover the transports and both ends of the connection:
 // `sim` (deterministic virtual-time link with frame
 // drop/dup/reorder/corrupt/delay and outages), `pipe` (the full rover
 // facade running a booking workload over a flapping, fault-injected
 // in-process link), `mail` (spool loss/duplication/outages with client
 // crashes recovered from the log), `crash` (client engine crash/restart
-// cycles over a real file-backed log, including torn-tail writes), and
+// cycles over a real file-backed log, including torn-tail writes),
 // `crash-server` (server crash/rebuild cycles over a file-backed session
 // journal with dirty appends and torn tails — exactly-once must hold with
-// the SERVER dying, not just the client).
+// the SERVER dying, not just the client), and `crash-primary` (a
+// replicated home pair losing its primary to total-loss crashes: the
+// client fails over to the survivor, the rebuilt replica catches up by
+// anti-entropy, and both stores must converge byte-identically with no
+// accepted booking lost or doubly applied — exercised over netsim virtual
+// time AND real TCP).
 //
 // Every schedule is reproducible: on a violation the failing seed and a
 // repro command line are printed and the process exits nonzero.
@@ -28,12 +33,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +48,7 @@ import (
 	"rover/internal/faults"
 	"rover/internal/netsim"
 	"rover/internal/qrpc"
+	"rover/internal/repl"
 	"rover/internal/stable"
 	"rover/internal/transport"
 	"rover/internal/vtime"
@@ -49,7 +57,7 @@ import (
 var (
 	schedules    = flag.Int("schedules", 25, "number of fault schedules per scenario")
 	seed         = flag.Int64("seed", 1, "base seed; schedule i uses seed+i")
-	scenarioFlag = flag.String("scenario", "", "scenario to run: all, sim, pipe, mail, crash, crash-server")
+	scenarioFlag = flag.String("scenario", "", "scenario to run: all, sim, pipe, mail, crash, crash-server, crash-primary")
 	transport_   = flag.String("transport", "", "deprecated alias for -scenario")
 	verbose      = flag.Bool("v", false, "print per-schedule stats")
 	compress     = flag.Bool("compress", false, "clients advertise the compressed-batch capability (exercises the fault schedules over compressed frames)")
@@ -75,6 +83,7 @@ func main() {
 		{"mail", runMail},
 		{"crash", runCrash},
 		{"crash-server", runCrashServer},
+		{"crash-primary", runCrashPrimary},
 	}
 	var picked []runner
 	for _, r := range all {
@@ -83,7 +92,12 @@ func main() {
 		}
 	}
 	if len(picked) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown -scenario %q\n", scenario)
+		names := make([]string, 0, len(all)+1)
+		names = append(names, "all")
+		for _, r := range all {
+			names = append(names, r.name)
+		}
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q (valid: %s)\n", scenario, strings.Join(names, ", "))
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -784,6 +798,459 @@ func runCrashServer(seed int64, verbose bool) error {
 	if verbose {
 		fmt.Printf("  crash-server: %d requests, %d incarnations, %d compactions, %d live records\n",
 			len(accepted), incarnations, compactions, liveRecords)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// crash-primary: a replicated home pair under total-loss primary crashes.
+// Two full Rover servers replicate to each other; a client books unique
+// slots against whichever replica it can reach. Every cycle the client's
+// current server is crashed outright — store, session state, and
+// replication queue all gone — and rebuilt empty; the client fails over to
+// the survivor (re-running the exactly-once handshake, so redelivered
+// exports are absorbed by the replicated history/reply caches) and the
+// rebuilt replica catches back up by anti-entropy. Invariants, checked at
+// every cycle's quiesce:
+//
+//   - no lost accepted work: every booking the client issued is in the
+//     store, with the right value;
+//   - strict at-most-once: zero conflicts — a doubly-applied booking would
+//     error "taken" and surface as one;
+//   - convergence: both replicas' store snapshots are byte-identical;
+//   - bounded lag: both replication streams are fully drained (Lag()==0),
+//     and the doomed primary's stream drains within a deadline before
+//     every crash.
+//
+// The scenario runs twice per schedule: once over netsim virtual-time
+// links (deterministic) and once over real TCP with a multi-address
+// failover transport.
+
+const (
+	cpCycles    = 4 // primary crash/rebuild cycles (the ISSUE floor)
+	cpPerCycle  = 6 // bookings per cycle
+	cpAuthority = "pair"
+)
+
+func cpObject() *rover.Object {
+	obj := rover.NewObject(rover.MustParseURN("urn:rover:pair/slots"), "slots")
+	obj.Code = `
+		proc book {slot who} {
+			if {[state exists $slot]} { error "taken" }
+			state set $slot $who
+		}
+	`
+	return obj
+}
+
+// cpCheck asserts the per-cycle quiesce invariants shared by both variants.
+func cpCheck(cycle int, srvA, srvB *rover.Server, repA, repB *repl.Replicator, booked []string, conflicts int) error {
+	if lagA, lagB := repA.Lag(), repB.Lag(); lagA != 0 || lagB != 0 {
+		return fmt.Errorf("cycle %d: replication lag at quiesce: %d/%d", cycle, lagA, lagB)
+	}
+	sa, sb := srvA.Store().Snapshot(), srvB.Store().Snapshot()
+	if !bytes.Equal(sa, sb) {
+		return fmt.Errorf("cycle %d: replica stores diverged at quiesce (%d vs %d bytes)", cycle, len(sa), len(sb))
+	}
+	u := rover.MustParseURN("urn:rover:pair/slots")
+	got, err := srvA.Store().Get(u)
+	if err != nil {
+		return fmt.Errorf("cycle %d: %w", cycle, err)
+	}
+	if len(got.State) != len(booked) {
+		return fmt.Errorf("cycle %d: store has %d bookings, want %d", cycle, len(got.State), len(booked))
+	}
+	for _, s := range booked {
+		if v, ok := got.Get(s); !ok || v != "mobile" {
+			return fmt.Errorf("cycle %d: booking %s lost or wrong (%q)", cycle, s, v)
+		}
+	}
+	if conflicts != 0 {
+		return fmt.Errorf("cycle %d: %d conflicts — an accepted booking was applied twice", cycle, conflicts)
+	}
+	return nil
+}
+
+func runCrashPrimary(seed int64, verbose bool) error {
+	if err := runCrashPrimarySim(seed, verbose); err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
+	if err := runCrashPrimaryTCP(seed, verbose); err != nil {
+		return fmt.Errorf("tcp: %w", err)
+	}
+	return nil
+}
+
+// runCrashPrimarySim is the deterministic variant: both replicas, both
+// replication streams, and the client all run over netsim links under one
+// virtual-time scheduler (inline server execution, scheduler clock).
+func runCrashPrimarySim(seed int64, verbose bool) error {
+	sched := vtime.NewScheduler()
+	clock := vtime.SchedulerClock{S: sched}
+	spec := netsim.WaveLAN2 // clean link: the injected failures are crashes
+	u := rover.MustParseURN("urn:rover:pair/slots")
+	ids := [2]string{"pair-a", "pair-b"}
+
+	var (
+		srvs    [2]*rover.Server
+		reps    [2]*repl.Replicator
+		replSim [2]*transport.Sim // replSim[i]: reps[i] stream -> srvs[1-i]
+		cliSim  *transport.Sim
+		simSeed = seed * 100
+		inc     int
+	)
+	newSim := func(c *qrpc.Client, s *qrpc.Server) *transport.Sim {
+		simSeed++
+		return transport.NewSim(sched, spec, simSeed, c, s)
+	}
+	boot := func(i int) error {
+		srv, err := rover.NewServer(rover.ServerOptions{ServerID: ids[i], Workers: -1})
+		if err != nil {
+			return err
+		}
+		inc++
+		rep, err := srv.EnableReplication(rover.ReplicationOptions{Clock: clock, Instance: fmt.Sprintf("i%d", inc)})
+		if err != nil {
+			return err
+		}
+		srvs[i], reps[i] = srv, rep
+		return nil
+	}
+	// wireRepl (re)builds both replication links against the CURRENT
+	// engines; called at start and after every rebuild.
+	wireRepl := func() {
+		for i := 0; i < 2; i++ {
+			replSim[i] = newSim(reps[i].Client(), srvs[1-i].Engine())
+			srvs[i].AttachPeerTransport(replSim[i])
+		}
+	}
+	if err := boot(0); err != nil {
+		return err
+	}
+	if err := boot(1); err != nil {
+		return err
+	}
+	wireRepl()
+
+	if err := srvs[0].Seed(cpObject()); err != nil {
+		return err
+	}
+	if _, drained := sched.Run(1_000_000); !drained {
+		return fmt.Errorf("seed replication did not drain")
+	}
+	if !bytes.Equal(srvs[0].Store().Snapshot(), srvs[1].Store().Snapshot()) {
+		return fmt.Errorf("replicas diverged after seeding")
+	}
+
+	conflicts := 0 // single-threaded under the scheduler
+	cli, err := rover.NewClient(rover.ClientOptions{
+		ClientID:   "pair-mobile",
+		Clock:      clock,
+		OnConflict: func(rover.URN, string) { conflicts++ },
+	})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	primary := 0 // index of the replica the client is attached to
+	cliSim = newSim(cli.Engine(), srvs[primary].Engine())
+	cli.AttachTransport(cliSim)
+	imp := cli.Import(u, rover.ImportOptions{})
+	sched.Run(1_000_000)
+	if _, ierr, ok := imp.Result(); !ok || ierr != nil {
+		return fmt.Errorf("import did not complete: %v", ierr)
+	}
+
+	crash := func() error {
+		// 1. Cut the client off first: nothing further can be ACCEPTED by
+		//    the doomed primary, so the no-loss invariant stays strict.
+		cliSim.Duplex().SetUp(false)
+		// 2. Bounded replication lag: the primary's stream must flush to
+		//    the survivor before the crash lands — this is exactly the
+		//    window asynchronous replication leaves open, and the bound
+		//    the scenario asserts.
+		for i := 0; reps[primary].Lag() > 0; i++ {
+			if i >= 10_000 {
+				return fmt.Errorf("pre-crash lag never drained (lag=%d)", reps[primary].Lag())
+			}
+			sched.RunFor(time.Millisecond)
+		}
+		// 3. Crash: both replication links die with the process.
+		replSim[0].Duplex().SetUp(false)
+		replSim[1].Duplex().SetUp(false)
+		srvs[primary].Close()
+		// 4. Rebuild from nothing: empty store, fresh replication
+		//    identity (the old incarnation's peer session is dead with it).
+		if err := boot(primary); err != nil {
+			return err
+		}
+		wireRepl() // reconnect fires the survivor's anti-entropy sweep
+		// 5. Client failover to the survivor: the QRPC handshake re-runs
+		//    there and every unreplied request redelivers.
+		primary = 1 - primary
+		cliSim = newSim(cli.Engine(), srvs[primary].Engine())
+		cli.AttachTransport(cliSim)
+		return nil
+	}
+
+	crasher := faults.NewCrasher(seed^0x9c, 0.3, cpCycles)
+	var booked []string
+	for c := 0; c < cpCycles; c++ {
+		struck := false
+		for j := 0; j < cpPerCycle; j++ {
+			slot := fmt.Sprintf("c%d-s%d", c, j)
+			if _, err := cli.Invoke(u, "book", slot, "mobile"); err != nil {
+				return fmt.Errorf("invoke %s: %w", slot, err)
+			}
+			booked = append(booked, slot)
+			// Partial drain on purpose: frames (exports, replies,
+			// replication records) stay in flight across the crash point.
+			sched.RunFor(time.Millisecond)
+			if !struck && (crasher.Strike() || j == cpPerCycle-1) {
+				if err := crash(); err != nil {
+					return fmt.Errorf("cycle %d: %w", c, err)
+				}
+				struck = true
+			}
+		}
+		if _, drained := sched.Run(5_000_000); !drained {
+			return fmt.Errorf("cycle %d did not drain (pending=%d)", c, sched.Pending())
+		}
+		for flaps := 0; ; flaps++ {
+			st := cli.Status()
+			if !cli.Tentative(u) && st.Queued == 0 && st.AwaitingReply == 0 {
+				break
+			}
+			if flaps >= 8 {
+				return fmt.Errorf("cycle %d: client never drained: %+v", c, st)
+			}
+			cliSim.Duplex().SetUp(false)
+			cliSim.Duplex().SetUp(true)
+			sched.Run(5_000_000)
+		}
+		if err := cpCheck(c, srvs[0], srvs[1], reps[0], reps[1], booked, conflicts); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		var st repl.Stats
+		for i := 0; i < 2; i++ {
+			s := reps[i].Stats()
+			st.Applied += s.Applied
+			st.CatchUps += s.CatchUps
+			st.FullSyncs += s.FullSyncs
+			st.DigestSweeps += s.DigestSweeps
+			st.ExecInstalled += s.ExecInstalled
+		}
+		fmt.Printf("  crash-primary/sim: %d bookings, %d crashes, applied=%d catchups=%d fullsyncs=%d sweeps=%d execs=%d dupExports=%d/%d\n",
+			len(booked), crasher.Crashes(), st.Applied, st.CatchUps, st.FullSyncs, st.DigestSweeps, st.ExecInstalled,
+			srvs[0].ServerStats().DuplicateExports, srvs[1].ServerStats().DuplicateExports)
+	}
+	return nil
+}
+
+// runCrashPrimaryTCP is the real-network variant: both replicas listen on
+// TCP, replication dials peer listeners, and the client uses the
+// multi-address failover transport (DialTCPMulti) so a dead primary
+// rotates it to the survivor.
+func runCrashPrimaryTCP(seed int64, verbose bool) error {
+	u := rover.MustParseURN("urn:rover:pair/slots")
+	ids := [2]string{"pair-a", "pair-b"}
+
+	var (
+		srvs  [2]*rover.Server
+		reps  [2]*repl.Replicator
+		lns   [2]*transport.TCPServer
+		addrs [2]string
+		inc   int
+	)
+	// boot builds one replica. Replication is enabled BEFORE the listener
+	// so the peer's records can never race the service registration; the
+	// listener retries briefly because a rebuild rebinds the old port.
+	boot := func(i int, addr, peerAddr string) error {
+		srv, err := rover.NewServer(rover.ServerOptions{ServerID: ids[i]})
+		if err != nil {
+			return err
+		}
+		inc++
+		rep, err := srv.EnableReplication(rover.ReplicationOptions{Instance: fmt.Sprintf("i%d", inc)})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		var ln *transport.TCPServer
+		for attempt := 0; ; attempt++ {
+			ln, err = srv.ListenTCP(addr)
+			if err == nil {
+				break
+			}
+			if attempt >= 200 {
+				srv.Close()
+				return fmt.Errorf("rebind %s: %w", addr, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if peerAddr != "" {
+			if err := srv.ConnectPeerTCP(peerAddr); err != nil {
+				ln.Close()
+				srv.Close()
+				return err
+			}
+		}
+		srvs[i], reps[i], lns[i] = srv, rep, ln
+		addrs[i] = ln.Addr()
+		return nil
+	}
+	if err := boot(0, "127.0.0.1:0", ""); err != nil {
+		return err
+	}
+	if err := boot(1, "127.0.0.1:0", addrs[0]); err != nil {
+		return err
+	}
+	if err := srvs[0].ConnectPeerTCP(addrs[1]); err != nil {
+		return err
+	}
+	defer func() {
+		for i := 0; i < 2; i++ {
+			if lns[i] != nil {
+				lns[i].Close()
+			}
+			if srvs[i] != nil {
+				srvs[i].Close()
+			}
+		}
+	}()
+
+	if err := srvs[0].Seed(cpObject()); err != nil {
+		return err
+	}
+	waitConverged := func(what string) error {
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			if reps[0].Lag() == 0 && reps[1].Lag() == 0 &&
+				bytes.Equal(srvs[0].Store().Snapshot(), srvs[1].Store().Snapshot()) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s: replicas did not converge (lag %d/%d)", what, reps[0].Lag(), reps[1].Lag())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := waitConverged("seeding"); err != nil {
+		return err
+	}
+
+	var conflictMu sync.Mutex
+	conflicts := 0
+	cli, err := rover.NewClient(rover.ClientOptions{
+		ClientID: "pair-mobile",
+		OnConflict: func(rover.URN, string) {
+			conflictMu.Lock()
+			conflicts++
+			conflictMu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	tcli := transport.DialTCPMulti([]string{addrs[0], addrs[1]}, cli.Engine(), nil, transport.TCPClientOptions{
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+		DialTimeout:    time.Second,
+	})
+	cli.AttachTransport(tcli)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := cli.ImportWait(ctx, u); err != nil {
+		return fmt.Errorf("import: %w", err)
+	}
+
+	crash := func() error {
+		// The primary is whichever replica the client currently targets.
+		pi := 0
+		if tcli.CurrentAddr() == addrs[1] {
+			pi = 1
+		}
+		rotBefore := tcli.Rotations()
+		// 1. Cut clients off: the listener dies first, so nothing further
+		//    can be accepted by the doomed primary.
+		lns[pi].Close()
+		// 2. Bounded lag: flush the primary's replication stream to the
+		//    survivor within a deadline.
+		deadline := time.Now().Add(10 * time.Second)
+		for reps[pi].Lag() > 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("pre-crash lag never drained (lag=%d)", reps[pi].Lag())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// 3. Crash.
+		srvs[pi].Close()
+		srvs[pi], lns[pi] = nil, nil
+		// 4. Hold the server down until the client has actually rotated to
+		//    the survivor — the failover under test.
+		for tcli.Rotations() == rotBefore {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("client never failed over after crash")
+			}
+			tcli.Kick()
+			time.Sleep(time.Millisecond)
+		}
+		// 5. Rebuild empty on the same address; the survivor's dial loop
+		//    reconnects and its sweep rebuilds the store by anti-entropy.
+		return boot(pi, addrs[pi], addrs[1-pi])
+	}
+
+	crasher := faults.NewCrasher(seed^0x7d, 0.3, cpCycles)
+	var booked []string
+	for c := 0; c < cpCycles; c++ {
+		struck := false
+		for j := 0; j < cpPerCycle; j++ {
+			slot := fmt.Sprintf("c%d-s%d", c, j)
+			if _, err := cli.Invoke(u, "book", slot, "mobile"); err != nil {
+				return fmt.Errorf("invoke %s: %w", slot, err)
+			}
+			booked = append(booked, slot)
+			time.Sleep(2 * time.Millisecond)
+			if !struck && (crasher.Strike() || j == cpPerCycle-1) {
+				if err := crash(); err != nil {
+					return fmt.Errorf("cycle %d: %w", c, err)
+				}
+				struck = true
+			}
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			st := cli.Status()
+			if !cli.Tentative(u) && st.Queued == 0 && st.AwaitingReply == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cycle %d drain stalled: %+v", c, st)
+			}
+			tcli.Kick()
+			time.Sleep(time.Millisecond)
+		}
+		if err := waitConverged(fmt.Sprintf("cycle %d", c)); err != nil {
+			return err
+		}
+		conflictMu.Lock()
+		nConf := conflicts
+		conflictMu.Unlock()
+		if err := cpCheck(c, srvs[0], srvs[1], reps[0], reps[1], booked, nConf); err != nil {
+			return err
+		}
+	}
+	if tcli.Rotations() < cpCycles {
+		return fmt.Errorf("client rotated only %d times across %d primary crashes", tcli.Rotations(), cpCycles)
+	}
+	if verbose {
+		fmt.Printf("  crash-primary/tcp: %d bookings, %d crashes, %d rotations, dupExports=%d/%d execInstalled=%d/%d\n",
+			len(booked), crasher.Crashes(), tcli.Rotations(),
+			srvs[0].ServerStats().DuplicateExports, srvs[1].ServerStats().DuplicateExports,
+			reps[0].Stats().ExecInstalled, reps[1].Stats().ExecInstalled)
 	}
 	return nil
 }

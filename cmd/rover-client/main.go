@@ -30,6 +30,7 @@ import (
 func main() {
 	var (
 		server   = flag.String("server", "127.0.0.1:7070", "rover-server TCP address")
+		backup   = flag.String("backup", "", "replica server address to fail over to")
 		clientID = flag.String("id", "rover-client", "client identity")
 		logPath  = flag.String("log", "", "stable log path (empty: in-memory, no crash recovery)")
 		keyHex   = flag.String("key", "", "hex auth key")
@@ -52,7 +53,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer cli.Close()
-	cli.ConnectTCP(*server)
+	var backups []string
+	if *backup != "" {
+		backups = append(backups, *backup)
+	}
+	cli.ConnectTCP(*server, backups...)
 	fmt.Printf("rover-client %q -> %s (connection maintained in background)\n", *clientID, *server)
 	repl(cli)
 }

@@ -39,6 +39,11 @@ func main() {
 		journal      = flag.String("journal", "", "session journal path (exactly-once across server restarts)")
 		saveInterval = flag.Duration("save-interval", time.Minute, "periodic snapshot interval (0 disables)")
 		seed         = flag.String("seed", "", "seed demo content: mail, calendar, web, or all")
+		peer         = flag.String("peer", "", "replica peer QRPC address; enables home-pair replication")
+		peerHTTP     = flag.String("peer-http", "", "replica peer gateway URL for /replica redirects (e.g. http://host:8081)")
+		replLog      = flag.String("repl-log", "", "replication stream log path (backlog survives restarts)")
+		replInstance = flag.String("repl-instance", "", "replication incarnation tag; REQUIRED fresh after a restart without -repl-log")
+		statsEvery   = flag.Duration("stats-interval", time.Minute, "periodic stats line interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -59,13 +64,26 @@ func main() {
 	if err := seedDemo(srv, *seed); err != nil {
 		log.Fatalf("rover-server: seeding: %v", err)
 	}
+	// Replication is enabled before the listener so the peer's records can
+	// never race the apply-service registration.
+	if *peer != "" {
+		if _, err := srv.EnableReplication(rover.ReplicationOptions{
+			PeerAddr: *peer,
+			LogPath:  *replLog,
+			Instance: *replInstance,
+		}); err != nil {
+			log.Fatalf("rover-server: replication: %v", err)
+		}
+		log.Printf("rover-server: replicating to peer %s", *peer)
+	}
 	ln, err := srv.ListenTCP(*listen)
 	if err != nil {
 		log.Fatalf("rover-server: listen: %v", err)
 	}
 	log.Printf("rover-server %q listening on %s (%d objects)", *serverID, ln.Addr(), srv.Store().Len())
 	if *httpAddr != "" {
-		gw, err := httpmini.Serve(*httpAddr, gateway.Handler(srv.Store(), "demo"))
+		gw, err := httpmini.Serve(*httpAddr, gateway.HandlerWithPeer(srv.Store(), "demo",
+			gateway.Peer{URL: *peerHTTP}))
 		if err != nil {
 			log.Fatalf("rover-server: http gateway: %v", err)
 		}
@@ -82,12 +100,20 @@ func main() {
 		tick = ticker.C
 		defer ticker.Stop()
 	}
+	var statsTick <-chan time.Time
+	if *statsEvery > 0 {
+		st := time.NewTicker(*statsEvery)
+		statsTick = st.C
+		defer st.Stop()
+	}
 	for {
 		select {
 		case <-tick:
 			if err := srv.SaveSnapshot(); err != nil {
 				log.Printf("rover-server: snapshot: %v", err)
 			}
+		case <-statsTick:
+			logStats(srv)
 		case sig := <-stop:
 			log.Printf("rover-server: %v; shutting down", sig)
 			ln.Close()
@@ -101,6 +127,27 @@ func main() {
 			return
 		}
 	}
+}
+
+// logStats prints one periodic line of operational counters: engine
+// activity (including journal health and replicated replies), delta-import
+// service counters, and — when replication is on — the live replication
+// lag plus the stream/anti-entropy counters.
+func logStats(srv *rover.Server) {
+	es := srv.Engine().Stats()
+	ss := srv.ServerStats()
+	line := fmt.Sprintf(
+		"stats: reqs=%d exec=%d replays=%d journalRefused=%d replicatedReplies=%d deltasServed=%d deltaFallbacks=%d dupExports=%d",
+		es.Requests, es.Executed, es.ReplaysServed, es.JournalRefused, es.ReplicatedReplies,
+		ss.DeltasServed, ss.DeltaFallbacks, ss.DuplicateExports)
+	if rep := srv.Replicator(); rep != nil {
+		rs := rep.Stats()
+		line += fmt.Sprintf(
+			" | repl: lag=%d streamed=%d execsStreamed=%d applied=%d catchups=%d fullsyncs=%d sweeps=%d execInstalled=%d errors=%d",
+			rep.Lag(), rs.RecordsStreamed, rs.ExecsStreamed, rs.Applied, rs.CatchUps,
+			rs.FullSyncs, rs.DigestSweeps, rs.ExecInstalled, rs.Errors)
+	}
+	log.Print("rover-server: " + line)
 }
 
 // seedDemo provisions demonstration content for the three applications.

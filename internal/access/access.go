@@ -128,6 +128,11 @@ type Config struct {
 	// OnInvalidate is told when a server callback invalidated a cached
 	// object.
 	OnInvalidate func(u urn.URN, newVersion uint64)
+	// OnOverload is told when a request was hard-shed (the pending queue
+	// reached twice MaxPending): the server this client is bound to is
+	// refusing to drain. A multi-homed transport uses it to fail over to a
+	// backup replica. Called outside the manager lock.
+	OnOverload func()
 }
 
 // AccessManager mediates all Rover interaction for one client.
@@ -173,9 +178,16 @@ func (am *AccessManager) enqueue(svc string, msg wire.Marshaler, p qrpc.Priority
 	if limit := am.cfg.MaxPending; limit > 0 {
 		pending := am.cfg.Engine.Pending()
 		if pending >= 2*limit || (pending >= limit && pri(p) == qrpc.PriorityLow) {
+			hard := pending >= 2*limit
 			am.mu.Lock()
 			am.stats.Shed++
 			am.mu.Unlock()
+			if hard && am.cfg.OnOverload != nil {
+				// Every-priority shedding means the bound server is not
+				// draining at all; give the transport a chance to rotate to
+				// a backup replica.
+				am.cfg.OnOverload()
+			}
 			return nil, fmt.Errorf("%w: %d pending (limit %d)", ErrShedLoad, pending, limit)
 		}
 	}

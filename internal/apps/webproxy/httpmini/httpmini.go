@@ -28,6 +28,7 @@ type Request struct {
 type Response struct {
 	Status      int
 	ContentType string
+	Location    string // emitted as a Location header (redirects)
 	Body        []byte
 }
 
@@ -37,9 +38,11 @@ type Handler func(Request) Response
 // statusText covers the subset we emit.
 var statusText = map[int]string{
 	200: "OK",
+	302: "Found",
 	400: "Bad Request",
 	404: "Not Found",
 	500: "Internal Server Error",
+	503: "Service Unavailable",
 	504: "Gateway Timeout",
 }
 
@@ -159,6 +162,9 @@ func WriteResponse(w io.Writer, resp Response) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "HTTP/1.0 %d %s\r\n", resp.Status, text)
 	fmt.Fprintf(&sb, "Content-Type: %s\r\n", resp.ContentType)
+	if resp.Location != "" {
+		fmt.Fprintf(&sb, "Location: %s\r\n", resp.Location)
+	}
 	fmt.Fprintf(&sb, "Content-Length: %d\r\n", len(resp.Body))
 	sb.WriteString("Server: rover-httpmini/1.0\r\n\r\n")
 	if _, err := io.WriteString(w, sb.String()); err != nil {
@@ -205,6 +211,8 @@ func Get(addr, path string) (Response, error) {
 			switch key {
 			case "content-type":
 				resp.ContentType = val
+			case "location":
+				resp.Location = val
 			case "content-length":
 				if n, err := strconv.Atoi(val); err == nil {
 					length = n

@@ -2,7 +2,9 @@ package faults
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -56,6 +58,80 @@ func TestRetryPolicyJitterBounds(t *testing.T) {
 	// No rng or no jitter: deterministic.
 	if d := p.JitteredBackoff(0, nil); d != 100*time.Millisecond {
 		t.Errorf("JitteredBackoff with nil rng = %v, want 100ms", d)
+	}
+}
+
+func TestRetryPolicyEdgeCases(t *testing.T) {
+	p := RetryPolicy{Initial: 80 * time.Millisecond, Max: time.Second, Multiplier: 2}
+	// Negative attempts clamp to the first retry, never panic or underflow.
+	for _, a := range []int{-1, -100} {
+		if got := p.Backoff(a); got != 80*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want Initial", a, got)
+		}
+	}
+	// Max below Initial normalizes upward: the cap never undercuts the floor.
+	inv := RetryPolicy{Initial: time.Second, Max: 10 * time.Millisecond, Multiplier: 2}
+	if got := inv.Backoff(0); got != time.Second {
+		t.Errorf("inverted policy Backoff(0) = %v, want Initial", got)
+	}
+	if got := inv.Backoff(50); got != time.Second {
+		t.Errorf("inverted policy Backoff(50) = %v, want normalized cap", got)
+	}
+	// Multiplier <= 1 normalizes to the default 2 (no stuck-flat retries).
+	flat := RetryPolicy{Initial: 10 * time.Millisecond, Max: time.Second, Multiplier: 0.5}
+	if got := flat.Backoff(1); got != 20*time.Millisecond {
+		t.Errorf("flat policy Backoff(1) = %v, want 20ms", got)
+	}
+	// Jitter amplitude > 1 clamps the scale factor at zero: delays may hit
+	// 0 but never go negative.
+	wild := RetryPolicy{Initial: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 5}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		if d := wild.JitteredBackoff(0, rng); d < 0 || d > 600*time.Millisecond {
+			t.Fatalf("JitteredBackoff with Jitter=5 = %v, want [0, 600ms]", d)
+		}
+	}
+	// Jittered delays respect the Max cap scaled by the amplitude.
+	capped := RetryPolicy{Initial: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: DefaultJitter}
+	hi := time.Duration(float64(time.Second) * (1 + DefaultJitter))
+	for i := 0; i < 200; i++ {
+		if d := capped.JitteredBackoff(30, rng); d > hi {
+			t.Fatalf("JitteredBackoff(30) = %v exceeds jittered cap %v", d, hi)
+		}
+	}
+}
+
+// TestRetryPolicyConcurrent shares one policy VALUE across goroutines (as
+// the transports do), each with its own rng, and checks bounds under the
+// race detector: RetryPolicy methods must be safe for concurrent use.
+func TestRetryPolicyConcurrent(t *testing.T) {
+	p := RetryPolicy{Initial: 20 * time.Millisecond, Max: 500 * time.Millisecond, Multiplier: 2, Jitter: DefaultJitter}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				att := i % 12
+				base := p.Backoff(att)
+				lo := time.Duration(float64(base) * (1 - p.Jitter))
+				hi := time.Duration(float64(base) * (1 + p.Jitter))
+				if d := p.JitteredBackoff(att, rng); d < lo || d > hi {
+					select {
+					case errs <- fmt.Errorf("goroutine %d: JitteredBackoff(%d) = %v outside [%v, %v]", seed, att, d, lo, hi):
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -21,6 +21,17 @@ import (
 	"rover/internal/urn"
 )
 
+// Peer names the other half of a replicated home pair for gateway-level
+// failover. URL is the peer gateway's base ("http://host:port"). Serving,
+// when non-nil, reports whether THIS server is still willing to answer;
+// when it returns false every request is redirected to the peer, so a
+// browser pointed at a draining or partitioned replica lands on the
+// survivor without editing its bookmark.
+type Peer struct {
+	URL     string
+	Serving func() bool
+}
+
 // Handler builds an httpmini handler over a store.
 //
 // Paths:
@@ -29,7 +40,24 @@ import (
 //	/obj/urn:rover:<a>/<p>     text dump of one object
 //	/web/<path>                webpage-typed RDO rendered as HTML
 func Handler(st *store.Store, webAuthority string) httpmini.Handler {
+	return HandlerWithPeer(st, webAuthority, Peer{})
+}
+
+// HandlerWithPeer is Handler plus the replica routing entry: /replica
+// redirects to the peer gateway, and when peer.Serving reports false every
+// path redirects there (302, preserving the path).
+func HandlerWithPeer(st *store.Store, webAuthority string, peer Peer) httpmini.Handler {
 	return func(req httpmini.Request) httpmini.Response {
+		if req.Path == "/replica" {
+			if peer.URL == "" {
+				return httpmini.Response{Status: 404, ContentType: "text/plain",
+					Body: []byte("no replica configured\n")}
+			}
+			return redirect(peer.URL, "/")
+		}
+		if peer.URL != "" && peer.Serving != nil && !peer.Serving() {
+			return redirect(peer.URL, req.Path)
+		}
 		switch {
 		case req.Path == "/" || req.Path == "/index":
 			return index(st)
@@ -39,9 +67,15 @@ func Handler(st *store.Store, webAuthority string) httpmini.Handler {
 			return webpage(st, webAuthority, strings.TrimPrefix(req.Path, "/web/"))
 		default:
 			return httpmini.Response{Status: 404, ContentType: "text/plain",
-				Body: []byte("try /, /obj/<urn>, or /web/<page>\n")}
+				Body: []byte("try /, /obj/<urn>, /web/<page>, or /replica\n")}
 		}
 	}
+}
+
+func redirect(base, path string) httpmini.Response {
+	loc := strings.TrimSuffix(base, "/") + path
+	return httpmini.Response{Status: 302, ContentType: "text/plain", Location: loc,
+		Body: []byte("see " + loc + "\n")}
 }
 
 func index(st *store.Store) httpmini.Response {

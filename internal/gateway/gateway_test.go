@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"rover"
@@ -115,3 +116,50 @@ func TestErrors(t *testing.T) {
 
 // Compile-time check: the facade's Object is the gateway's rdo.Object.
 var _ *rover.Object = (*rdo.Object)(nil)
+
+func TestReplicaRouting(t *testing.T) {
+	st := testStore(t)
+	var serving atomic.Bool
+	serving.Store(true)
+	srv, err := httpmini.Serve("127.0.0.1:0", HandlerWithPeer(st, "demo", Peer{
+		URL:     "http://peer.example:8081",
+		Serving: serving.Load,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// /replica always redirects to the peer gateway.
+	resp, err := httpmini.Get(srv.Addr(), "/replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 302 || resp.Location != "http://peer.example:8081/" {
+		t.Fatalf("/replica: %d %q", resp.Status, resp.Location)
+	}
+	// While serving, ordinary paths are answered locally.
+	if resp, err = httpmini.Get(srv.Addr(), "/"); err != nil || resp.Status != 200 {
+		t.Fatalf("/ while serving: %d %v", resp.Status, err)
+	}
+	// Once draining, every path redirects to the peer, preserving the path.
+	serving.Store(false)
+	resp, err = httpmini.Get(srv.Addr(), "/obj/urn:rover:demo/notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 302 || resp.Location != "http://peer.example:8081/obj/urn:rover:demo/notes" {
+		t.Fatalf("drained redirect: %d %q", resp.Status, resp.Location)
+	}
+}
+
+func TestReplicaUnconfigured(t *testing.T) {
+	addr := serve(t, testStore(t))
+	resp, err := httpmini.Get(addr, "/replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 || !strings.Contains(string(resp.Body), "no replica") {
+		t.Fatalf("/replica without peer: %d %q", resp.Status, resp.Body)
+	}
+}

@@ -111,6 +111,10 @@ type ServerStats struct {
 	BatchesSent   int64 // FrameBatch frames sent (coalesced reply chunks)
 	ZBatchesSent  int64 // compressed (FrameBatchZ) frames sent
 
+	// ReplicatedReplies counts replies installed by a replica peer via
+	// InstallReply (reply-cache continuity across failover).
+	ReplicatedReplies int64
+
 	// Session-journal counters (zero when ServerConfig.Journal is nil).
 	JournalRecords     int64 // exec/ack/prune records appended
 	JournalCompactions int64 // snapshot+truncate cycles completed

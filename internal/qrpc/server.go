@@ -94,6 +94,12 @@ type Server struct {
 	stats    ServerStats
 	pool     *workerPool // nil in inline mode
 
+	// onExecuted, when set (SetOnExecuted), observes every execution after
+	// its reply is recorded in the session cache (and journaled). The
+	// replication layer streams these to the peer so a failed-over client's
+	// redeliveries are answered from cache there too. Runs outside mu.
+	onExecuted func(clientID string, req Request, rep *Reply)
+
 	// Journal state (see journal.go). jgate orders journal appends against
 	// compaction snapshots: appenders hold the read side across their
 	// append AND the s.mu bookkeeping that tracks the new record's id, so
@@ -459,11 +465,55 @@ func (s *Server) execute(sess *session, clientID string, handler Handler, req Re
 		s.stats.JournalRecords++
 		compact = s.shouldCompactLocked()
 	}
+	hook := s.onExecuted
 	s.mu.Unlock()
 	if compact {
 		go s.compactJournal()
 	}
+	if hook != nil {
+		hook(clientID, req, rep)
+	}
 	return rep
+}
+
+// SetOnExecuted installs the execution observer (see Server.onExecuted).
+// Install it before the server sees traffic; pass nil to remove it.
+func (s *Server) SetOnExecuted(fn func(clientID string, req Request, rep *Reply)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onExecuted = fn
+}
+
+// InstallReply installs a reply executed by a replica peer into clientID's
+// session cache, so a client that fails over here has its redelivered
+// requests answered from cache instead of re-executed. Stale installs —
+// already acked, below the session's LowSeq, already cached, or currently
+// executing locally — are ignored. Installed replies are journaled
+// (apply-then-log) with the same exec record the local path writes, so
+// recovery rebuilds them too. It reports whether the reply was installed.
+func (s *Server) InstallReply(clientID string, rep *Reply) bool {
+	if rep == nil {
+		return false
+	}
+	s.mu.Lock()
+	sess := s.sessionLocked(clientID)
+	if sess.acked[rep.Seq] || rep.Seq < sess.lowSeq || sess.executing[rep.Seq] {
+		s.mu.Unlock()
+		return false
+	}
+	if _, ok := sess.replies[rep.Seq]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	cp := *rep
+	sess.replies[rep.Seq] = &cp
+	if rep.Seq > sess.maxExec {
+		sess.maxExec = rep.Seq
+	}
+	s.stats.ReplicatedReplies++
+	s.mu.Unlock()
+	s.journalSessionRecord(func() []byte { return encodeExecRecord(clientID, &cp) })
+	return true
 }
 
 func (s *Server) onAck(from Sender, payload []byte) {

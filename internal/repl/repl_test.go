@@ -1,0 +1,350 @@
+// Replication-layer tests. They run as an external test package so the
+// pair harness can use the rover facade (which itself wires repl into the
+// server); everything executes deterministically under a virtual-time
+// scheduler over simulated links.
+package repl_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rover"
+	"rover/internal/netsim"
+	"rover/internal/rdo"
+	"rover/internal/repl"
+	"rover/internal/transport"
+	"rover/internal/urn"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+func TestClientID(t *testing.T) {
+	cases := []struct {
+		server, instance, want string
+	}{
+		{"A", "", "A!repl"},
+		{"A", "i2", "A#i2!repl"},
+		{"pair-b", "7", "pair-b#7!repl"},
+	}
+	for _, c := range cases {
+		if got := repl.ClientID(c.server, c.instance); got != c.want {
+			t.Errorf("ClientID(%q, %q) = %q, want %q", c.server, c.instance, got, c.want)
+		}
+		if !repl.IsReplClient(repl.ClientID(c.server, c.instance)) {
+			t.Errorf("IsReplClient(%q) = false", c.want)
+		}
+	}
+	if repl.IsReplClient("mobile-1") {
+		t.Error("IsReplClient matched a plain client")
+	}
+	if !repl.IsReplService(repl.SvcApply) || !repl.IsReplService(repl.SvcDigest) {
+		t.Error("IsReplService missed a protocol service")
+	}
+	if repl.IsReplService("rover.invoke") {
+		t.Error("IsReplService matched a non-repl service")
+	}
+}
+
+func TestRecordWireRoundTrip(t *testing.T) {
+	u := urn.MustParse("urn:rover:pair/slots")
+	records := []repl.Record{
+		{Kind: repl.KindOps, URN: u, PrevVersion: 3, Version: 5,
+			Invs: []rdo.Invocation{
+				{Object: u, Method: "book", Args: []string{"s1", "who"}, BaseVer: 3},
+				{Object: u, Method: "book", Args: nil, BaseVer: 4},
+			},
+			Src: "mobile-1", Check: 0xdeadbeef},
+		{Kind: repl.KindState, URN: u, Object: []byte("opaque-encoding")},
+		{Kind: repl.KindDelete, URN: u, PrevVersion: 9},
+		{Kind: repl.KindExec, ClientID: "mobile-1", Reply: []byte("wire-reply")},
+	}
+	for i, rec := range records {
+		var b wire.Buffer
+		rec.MarshalWire(&b)
+		var got repl.Record
+		if err := got.UnmarshalWire(wire.NewReader(b.Bytes())); err != nil {
+			t.Fatalf("record %d: unmarshal: %v", i, err)
+		}
+		if got.Kind != rec.Kind || got.URN != rec.URN ||
+			got.PrevVersion != rec.PrevVersion || got.Version != rec.Version ||
+			got.Src != rec.Src || got.Check != rec.Check ||
+			!bytes.Equal(got.Object, rec.Object) ||
+			got.ClientID != rec.ClientID || !bytes.Equal(got.Reply, rec.Reply) {
+			t.Errorf("record %d round trip mismatch:\n got %+v\nwant %+v", i, got, rec)
+		}
+		if len(got.Invs) != len(rec.Invs) {
+			t.Fatalf("record %d: %d invs, want %d", i, len(got.Invs), len(rec.Invs))
+		}
+		for j := range rec.Invs {
+			if got.Invs[j].Method != rec.Invs[j].Method || got.Invs[j].BaseVer != rec.Invs[j].BaseVer {
+				t.Errorf("record %d inv %d mismatch: %+v", i, j, got.Invs[j])
+			}
+		}
+	}
+	// Unknown kinds must error, not be silently skipped.
+	var b wire.Buffer
+	b.PutByte('?')
+	var bad repl.Record
+	if err := bad.UnmarshalWire(wire.NewReader(b.Bytes())); err == nil {
+		t.Error("unknown record kind unmarshalled without error")
+	}
+}
+
+func TestApplyReplyAndDigestRoundTrip(t *testing.T) {
+	ar := repl.ApplyReply{Status: repl.ApplyBehind, HaveVersion: 41}
+	var b wire.Buffer
+	ar.MarshalWire(&b)
+	var gar repl.ApplyReply
+	if err := gar.UnmarshalWire(wire.NewReader(b.Bytes())); err != nil || gar != ar {
+		t.Errorf("ApplyReply round trip: %+v, %v", gar, err)
+	}
+	dig := repl.DigestReply{ServerID: "pair-a", Entries: []repl.DigestEntry{
+		{URN: urn.MustParse("urn:rover:pair/x"), Version: 2, Check: 7},
+		{URN: urn.MustParse("urn:rover:pair/y"), Version: 9, Check: 12},
+	}}
+	var db wire.Buffer
+	dig.MarshalWire(&db)
+	var gd repl.DigestReply
+	if err := gd.UnmarshalWire(wire.NewReader(db.Bytes())); err != nil {
+		t.Fatalf("DigestReply unmarshal: %v", err)
+	}
+	if gd.ServerID != dig.ServerID || len(gd.Entries) != 2 || gd.Entries[1] != dig.Entries[1] {
+		t.Errorf("DigestReply round trip mismatch: %+v", gd)
+	}
+}
+
+// pair is a deterministic two-server replication harness: both servers run
+// inline under one virtual-time scheduler, each Replicator's stream rides
+// a simulated link to the peer's engine.
+type pair struct {
+	sched   *vtime.Scheduler
+	clock   vtime.SchedulerClock
+	srvs    [2]*rover.Server
+	reps    [2]*repl.Replicator
+	links   [2]*transport.Sim // links[i]: reps[i] stream -> srvs[1-i]
+	simSeed int64
+	inc     int
+}
+
+func newPair(t *testing.T) *pair {
+	t.Helper()
+	p := &pair{sched: vtime.NewScheduler(), simSeed: 1000}
+	p.clock = vtime.SchedulerClock{S: p.sched}
+	for i := 0; i < 2; i++ {
+		p.boot(t, i)
+	}
+	p.wire()
+	t.Cleanup(func() {
+		for i := 0; i < 2; i++ {
+			if p.srvs[i] != nil {
+				p.srvs[i].Close()
+			}
+		}
+	})
+	return p
+}
+
+func (p *pair) boot(t *testing.T, i int) {
+	t.Helper()
+	srv, err := rover.NewServer(rover.ServerOptions{
+		ServerID: fmt.Sprintf("pair-%c", 'a'+i), Workers: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.inc++
+	rep, err := srv.EnableReplication(rover.ReplicationOptions{
+		Clock: p.clock, Instance: fmt.Sprintf("i%d", p.inc),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.srvs[i], p.reps[i] = srv, rep
+}
+
+func (p *pair) wire() {
+	for i := 0; i < 2; i++ {
+		p.simSeed++
+		p.links[i] = transport.NewSim(p.sched, netsim.WaveLAN2, p.simSeed, p.reps[i].Client(), p.srvs[1-i].Engine())
+		p.srvs[i].AttachPeerTransport(p.links[i])
+	}
+}
+
+func (p *pair) drain(t *testing.T) {
+	t.Helper()
+	if _, drained := p.sched.Run(1_000_000); !drained {
+		t.Fatalf("scheduler did not drain (pending=%d)", p.sched.Pending())
+	}
+}
+
+func (p *pair) requireConverged(t *testing.T) {
+	t.Helper()
+	if lagA, lagB := p.reps[0].Lag(), p.reps[1].Lag(); lagA != 0 || lagB != 0 {
+		t.Fatalf("replication lag at quiesce: %d/%d", lagA, lagB)
+	}
+	sa, sb := p.srvs[0].Store().Snapshot(), p.srvs[1].Store().Snapshot()
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("stores diverged: %d vs %d bytes", len(sa), len(sb))
+	}
+}
+
+func counterObject(u rover.URN) *rover.Object {
+	obj := rover.NewObject(u, "counter")
+	obj.Code = `
+		proc bump {k} {
+			if {[state exists $k]} { error "dup" }
+			state set $k yes
+		}
+	`
+	return obj
+}
+
+func TestPairStreamsCommits(t *testing.T) {
+	p := newPair(t)
+	u := rover.MustParseURN("urn:rover:pair/counter")
+	if err := p.srvs[0].Seed(counterObject(u)); err != nil {
+		t.Fatal(err)
+	}
+	p.drain(t)
+	p.requireConverged(t)
+
+	cli, sim := pairClient(t, p, 0)
+	_ = sim
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Invoke(u, "bump", fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.drain(t)
+	p.requireConverged(t)
+	obj, err := p.srvs[1].Store().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := obj.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("replica missing k%d", i)
+		}
+	}
+	if st := p.reps[0].Stats(); st.RecordsStreamed == 0 {
+		t.Error("no records streamed from the origin")
+	}
+	if st := p.reps[1].Stats(); st.Applied == 0 {
+		t.Error("peer applied no records")
+	}
+}
+
+func TestPairCatchUpAfterOutage(t *testing.T) {
+	p := newPair(t)
+	u := rover.MustParseURN("urn:rover:pair/counter")
+	if err := p.srvs[0].Seed(counterObject(u)); err != nil {
+		t.Fatal(err)
+	}
+	p.drain(t)
+	p.requireConverged(t)
+
+	cli, _ := pairClient(t, p, 0)
+	// Cut the A->B stream; commits pile up as lag.
+	p.links[0].Duplex().SetUp(false)
+	for i := 0; i < 4; i++ {
+		if _, err := cli.Invoke(u, "bump", fmt.Sprintf("down%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.drain(t)
+	if p.reps[0].Lag() == 0 {
+		t.Fatal("expected nonzero lag while the stream link is down")
+	}
+	// Reconnect: QRPC redelivers the queued records in order.
+	p.links[0].Duplex().SetUp(true)
+	p.drain(t)
+	p.requireConverged(t)
+	obj, _ := p.srvs[1].Store().Get(u)
+	for i := 0; i < 4; i++ {
+		if _, ok := obj.Get(fmt.Sprintf("down%d", i)); !ok {
+			t.Errorf("replica missing down%d", i)
+		}
+	}
+}
+
+func TestPairRebuiltPeerCatchesUp(t *testing.T) {
+	p := newPair(t)
+	u := rover.MustParseURN("urn:rover:pair/counter")
+	if err := p.srvs[0].Seed(counterObject(u)); err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := pairClient(t, p, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Invoke(u, "bump", fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.drain(t)
+	p.requireConverged(t)
+
+	// Total-loss crash of B: empty store, fresh replication incarnation.
+	p.links[0].Duplex().SetUp(false)
+	p.links[1].Duplex().SetUp(false)
+	p.srvs[1].Close()
+	p.boot(t, 1)
+	p.wire() // reconnection fires A's digest sweep
+	p.drain(t)
+	p.requireConverged(t)
+	obj, err := p.srvs[1].Store().Get(u)
+	if err != nil {
+		t.Fatalf("rebuilt replica missing the object: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := obj.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("rebuilt replica missing k%d", i)
+		}
+	}
+	// The empty rebuilt peer must NOT have erased the survivor.
+	if p.srvs[0].Store().Len() == 0 {
+		t.Fatal("survivor store was emptied by the rebuilt peer")
+	}
+	if st := p.reps[0].Stats(); st.FullSyncs == 0 && st.CatchUps == 0 {
+		t.Error("no catch-up or full sync pushed to the rebuilt peer")
+	}
+}
+
+func TestPairStreamsExecRecords(t *testing.T) {
+	p := newPair(t)
+	u := rover.MustParseURN("urn:rover:pair/counter")
+	if err := p.srvs[0].Seed(counterObject(u)); err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := pairClient(t, p, 0)
+	if _, err := cli.Invoke(u, "bump", "once"); err != nil {
+		t.Fatal(err)
+	}
+	p.drain(t)
+	p.requireConverged(t)
+	if got := p.reps[1].Stats().ExecInstalled; got == 0 {
+		t.Error("peer installed no exec replies")
+	}
+	if got := p.srvs[1].Engine().Stats().ReplicatedReplies; got == 0 {
+		t.Error("peer engine counted no replicated replies")
+	}
+}
+
+// pairClient attaches a mobile client to pair server i over a simulated
+// link and completes the import handshake.
+func pairClient(t *testing.T, p *pair, i int) (*rover.Client, *transport.Sim) {
+	t.Helper()
+	cli, err := rover.NewClient(rover.ClientOptions{ClientID: "pair-test-mobile", Clock: p.clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	p.simSeed++
+	sim := transport.NewSim(p.sched, netsim.WaveLAN2, p.simSeed, cli.Engine(), p.srvs[i].Engine())
+	cli.AttachTransport(sim)
+	imp := cli.Import(rover.MustParseURN("urn:rover:pair/counter"), rover.ImportOptions{})
+	p.drain(t)
+	if _, err, ok := imp.Result(); !ok || err != nil {
+		t.Fatalf("import did not complete: %v", err)
+	}
+	return cli, sim
+}

@@ -55,6 +55,26 @@ type Server struct {
 	mu    sync.Mutex
 	subs  map[string][]urn.URN // clientID -> subscribed prefixes
 	locks map[urn.URN]string   // check-out locks: object -> holder clientID
+	stats Stats
+}
+
+// Stats counts object-service activity the engine layer cannot see.
+type Stats struct {
+	// DeltasServed counts imports answered with an operation delta;
+	// DeltaFallbacks counts revalidations that wanted a delta but had to
+	// ship the full object (history pruned or the delta was not smaller).
+	DeltasServed   int64
+	DeltaFallbacks int64
+	// DuplicateExports counts redelivered exports recognized as already
+	// committed (store.WasCommitted) and answered without re-applying.
+	DuplicateExports int64
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // New builds a server and registers its services on the engine.
@@ -195,6 +215,7 @@ func (s *Server) handleImport(clientID string, req qrpc.Request) ([]byte, error)
 	if !ok || newVer != obj.Version {
 		// History pruned, interrupted by an opaque commit, or the object
 		// moved between Get and OpsSince: ship the full object.
+		s.countDelta(false)
 		return full, nil
 	}
 	d := proto.ImportReply{
@@ -205,9 +226,21 @@ func (s *Server) handleImport(clientID string, req qrpc.Request) ([]byte, error)
 		Check:       proto.ObjectCheck(rep.Object),
 	}
 	if enc := wire.Marshal(&d); len(enc) < len(full) {
+		s.countDelta(true)
 		return enc, nil
 	}
+	s.countDelta(false)
 	return full, nil // the delta didn't actually save bytes
+}
+
+func (s *Server) countDelta(served bool) {
+	s.mu.Lock()
+	if served {
+		s.stats.DeltasServed++
+	} else {
+		s.stats.DeltaFallbacks++
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) handleExport(clientID string, req qrpc.Request) ([]byte, error) {
@@ -242,7 +275,10 @@ func (s *Server) handleExport(clientID string, req qrpc.Request) ([]byte, error)
 				// different operations than the client sent, so recording
 				// args.Invs would corrupt client-side delta replay — the
 				// plain Commit below clears the object's history instead.
-				newVer, err = s.store.CommitOps(obj, cur, args.Invs)
+				// The exporting client is recorded with the entry so a
+				// redelivered copy of this export is recognized as already
+				// committed (WasCommitted), here and at the replica peer.
+				newVer, err = s.store.CommitOpsBy(obj, cur, args.Invs, clientID)
 			} else {
 				newVer, err = s.store.Commit(obj, cur)
 			}
@@ -286,6 +322,19 @@ func (s *Server) applyExport(clientID string, obj *rdo.Object, cur uint64, args 
 		}
 		return &proto.ExportReply{Outcome: proto.OutcomeCommitted}, true, nil
 	case args.BaseVer < cur:
+		// Before treating this as a conflict, check whether the batch is a
+		// redelivery of an export that already committed at BaseVer+1 — the
+		// original reply was lost in a crash, or the client failed over to
+		// this replica after the mutation replicated but before its cached
+		// reply did. Re-applying (or resolving) it would execute accepted
+		// work twice; answer committed instead.
+		if s.store.WasCommitted(args.URN, args.BaseVer, args.Invs, clientID) {
+			s.mu.Lock()
+			s.stats.DuplicateExports++
+			s.mu.Unlock()
+			return &proto.ExportReply{Outcome: proto.OutcomeCommitted,
+				Message: "already committed (redelivered export)"}, false, nil
+		}
 		// Conflict: the object moved since the client imported it.
 		res, err := s.resolvers.For(obj.Type)(&resolve.Request{
 			Object:         obj,

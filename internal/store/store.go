@@ -50,12 +50,55 @@ type Store struct {
 	// spanning it cannot be represented.
 	history      map[urn.URN][]opsRec
 	historyLimit int // 0 selects DefaultHistoryLimit; negative disables
+
+	// onApply, when set, observes every locally committed mutation (it is
+	// how a replica pair streams changes to its peer). The Install* family
+	// bypasses it: replicated mutations must not echo back to their origin.
+	onApply func(ApplyEvent)
 }
 
-// opsRec is one history entry: the invocations that produced version ver.
+// opsRec is one history entry: the invocations that produced version ver,
+// tagged with the client that exported them (src, empty when untagged) so
+// a redelivered export can be recognized as already committed.
 type opsRec struct {
 	ver  uint64
 	invs []rdo.Invocation
+	src  string
+}
+
+// ApplyKind discriminates the mutations an ApplyEvent can describe.
+type ApplyKind byte
+
+// Apply-event kinds.
+const (
+	// ApplyOps: the version was produced by deterministically replaying
+	// Invs against the previous state (a CommitOps).
+	ApplyOps ApplyKind = iota
+	// ApplyState: an opaque state jump — Create, plain Commit, or any
+	// other whole-object install. Object carries the new encoding.
+	ApplyState
+	// ApplyDelete: the object was removed.
+	ApplyDelete
+)
+
+// ApplyEvent describes one committed mutation. Events are delivered to the
+// observer installed with SetOnApply while the store lock is held, so per-
+// object delivery order matches version order — the property a replication
+// stream needs. The observer must not call back into the store.
+type ApplyEvent struct {
+	Kind        ApplyKind
+	URN         urn.URN
+	PrevVersion uint64
+	Version     uint64 // 0 for ApplyDelete
+	// Invs holds the replayed invocations for ApplyOps (the slice is the
+	// store's own history copy; observers must not mutate it).
+	Invs []rdo.Invocation
+	// Src is the client the ApplyOps invocations came from (see
+	// CommitOpsBy); replication preserves it so the peer can also detect
+	// redelivered exports.
+	Src string
+	// Object is the committed object's wire encoding (nil for ApplyDelete).
+	Object []byte
 }
 
 // Conflict is a repair-queue entry: operations that could not be merged.
@@ -73,6 +116,21 @@ func New() *Store {
 	return &Store{
 		objs:    make(map[urn.URN]*rdo.Object),
 		history: make(map[urn.URN][]opsRec),
+	}
+}
+
+// SetOnApply installs the commit observer. Pass nil to remove it. The
+// callback runs with the store lock held (see ApplyEvent); install it
+// before the store sees traffic.
+func (s *Store) SetOnApply(fn func(ApplyEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onApply = fn
+}
+
+func (s *Store) notifyLocked(ev ApplyEvent) {
+	if s.onApply != nil {
+		s.onApply(ev)
 	}
 }
 
@@ -117,6 +175,7 @@ func (s *Store) Create(obj *rdo.Object) error {
 	s.objs[obj.URN] = cp
 	delete(s.history, obj.URN) // a re-created URN starts with no past
 	s.modCount++
+	s.notifyLocked(ApplyEvent{Kind: ApplyState, URN: cp.URN, Version: 1, Object: cp.Encode()})
 	return nil
 }
 
@@ -166,6 +225,8 @@ func (s *Store) Commit(obj *rdo.Object, expect uint64) (uint64, error) {
 	// object's history so OpsSince refuses rather than lies.
 	delete(s.history, obj.URN)
 	s.modCount++
+	s.notifyLocked(ApplyEvent{Kind: ApplyState, URN: cp.URN,
+		PrevVersion: expect, Version: cp.Version, Object: cp.Encode()})
 	return cp.Version, nil
 }
 
@@ -174,8 +235,18 @@ func (s *Store) Commit(obj *rdo.Object, expect uint64) (uint64, error) {
 // in the object's bounded history, so later imports by clients holding a
 // recent version can fetch just the operations instead of the object.
 func (s *Store) CommitOps(obj *rdo.Object, expect uint64, invs []rdo.Invocation) (uint64, error) {
+	return s.CommitOpsBy(obj, expect, invs, "")
+}
+
+// CommitOpsBy is CommitOps with the exporting client recorded alongside the
+// history entry, enabling WasCommitted's redelivery detection.
+func (s *Store) CommitOpsBy(obj *rdo.Object, expect uint64, invs []rdo.Invocation, src string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.commitOpsLocked(obj, expect, invs, src, true)
+}
+
+func (s *Store) commitOpsLocked(obj *rdo.Object, expect uint64, invs []rdo.Invocation, src string, notify bool) (uint64, error) {
 	cur, ok := s.objs[obj.URN]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, obj.URN)
@@ -192,16 +263,67 @@ func (s *Store) CommitOps(obj *rdo.Object, expect uint64, invs []rdo.Invocation)
 		// History disabled, or a no-op commit (version advanced with no
 		// recorded operations): treat like a plain Commit.
 		delete(s.history, obj.URN)
+		if notify {
+			s.notifyLocked(ApplyEvent{Kind: ApplyState, URN: cp.URN,
+				PrevVersion: expect, Version: cp.Version, Object: cp.Encode()})
+		}
 		return cp.Version, nil
 	}
 	cpInvs := make([]rdo.Invocation, len(invs))
 	copy(cpInvs, invs)
-	h := append(s.history[obj.URN], opsRec{ver: cp.Version, invs: cpInvs})
+	h := append(s.history[obj.URN], opsRec{ver: cp.Version, invs: cpInvs, src: src})
 	if limit := s.effectiveHistoryLimitLocked(); len(h) > limit {
 		h = append([]opsRec(nil), h[len(h)-limit:]...)
 	}
 	s.history[obj.URN] = h
+	if notify {
+		s.notifyLocked(ApplyEvent{Kind: ApplyOps, URN: cp.URN,
+			PrevVersion: expect, Version: cp.Version, Invs: cpInvs, Src: src, Object: cp.Encode()})
+	}
 	return cp.Version, nil
+}
+
+// WasCommitted reports whether the export (base, invs, src) is already
+// reflected in the object's history: some client's operations were
+// committed at version base+1 by the same src with identical invocations.
+// A true return means a redelivered export can be answered "committed"
+// without re-applying — the close of the at-most-once window when a reply
+// was lost in a server crash but the mutation survived (locally journaled
+// or replicated to the peer a client failed over to).
+func (s *Store) WasCommitted(u urn.URN, base uint64, invs []rdo.Invocation, src string) bool {
+	if src == "" || len(invs) == 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rec := range s.history[u] {
+		if rec.ver != base+1 {
+			continue
+		}
+		if rec.src != src || len(rec.invs) != len(invs) {
+			return false
+		}
+		for i := range invs {
+			if !invEqual(&rec.invs[i], &invs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func invEqual(a, b *rdo.Invocation) bool {
+	if a.Object != b.Object || a.Method != b.Method || a.BaseVer != b.BaseVer ||
+		len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // OpsSince returns the invocations that advance the object from version
@@ -248,13 +370,61 @@ func (s *Store) OpsSince(u urn.URN, from uint64) ([]rdo.Invocation, uint64, bool
 func (s *Store) Delete(u urn.URN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.objs[u]; !ok {
+	cur, ok := s.objs[u]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, u)
+	}
+	prev := cur.Version
+	delete(s.objs, u)
+	delete(s.history, u)
+	s.modCount++
+	s.notifyLocked(ApplyEvent{Kind: ApplyDelete, URN: u, PrevVersion: prev})
+	return nil
+}
+
+// InstallOps is CommitOpsBy for a mutation received from a replica peer:
+// same expect check and history recording (src preserved from the origin),
+// but the commit observer does not fire — a replicated mutation must not
+// echo back toward its origin.
+func (s *Store) InstallOps(obj *rdo.Object, expect uint64, invs []rdo.Invocation, src string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitOpsLocked(obj, expect, invs, src, false)
+}
+
+// InstallState force-installs a whole object at the version it carries —
+// the anti-entropy full-object transfer. It creates or replaces without an
+// expect check (the replication protocol's version guard runs above the
+// store), clears the object's history (the installed version is an opaque
+// jump), and does not fire the commit observer. Installing a version below
+// the current one is refused so a stale transfer can never move an object
+// backwards; an equal version replaces (idempotent re-install, and the
+// digest sweep's divergence repair).
+func (s *Store) InstallState(obj *rdo.Object) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.objs[obj.URN]; ok && obj.Version < cur.Version {
+		return 0, fmt.Errorf("store: install %s at %d would regress from %d",
+			obj.URN, obj.Version, cur.Version)
+	}
+	cp := obj.Clone()
+	s.objs[cp.URN] = cp
+	delete(s.history, cp.URN)
+	s.modCount++
+	return cp.Version, nil
+}
+
+// InstallDelete removes an object on behalf of a replica peer: idempotent
+// (deleting an absent object is not an error) and observer-silent.
+func (s *Store) InstallDelete(u urn.URN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[u]; !ok {
+		return
 	}
 	delete(s.objs, u)
 	delete(s.history, u)
 	s.modCount++
-	return nil
 }
 
 // Entry describes one object in a listing.
@@ -328,10 +498,13 @@ func (s *Store) ClearConflicts() int {
 // Snapshot format: uvarint count, then each object's wire encoding as a
 // length-prefixed blob.
 
-// Save writes a point-in-time snapshot of all objects to path. The write
-// is atomic (temp file + rename).
-func (s *Store) Save(path string) error {
+// Snapshot returns a point-in-time encoding of all objects, sorted by URN.
+// Because the order is canonical, two stores hold identical committed state
+// iff their snapshots are byte-identical — the convergence check the
+// replication chaos harness relies on.
+func (s *Store) Snapshot() []byte {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var b wire.Buffer
 	b.PutUvarint(uint64(len(s.objs)))
 	urns := make([]urn.URN, 0, len(s.objs))
@@ -342,9 +515,15 @@ func (s *Store) Save(path string) error {
 	for _, u := range urns {
 		b.PutBytes(s.objs[u].Encode())
 	}
-	s.mu.RUnlock()
+	return b.Bytes()
+}
+
+// Save writes a point-in-time snapshot of all objects to path. The write
+// is atomic (temp file + rename).
+func (s *Store) Save(path string) error {
+	snap := s.Snapshot()
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b.Bytes(), 0o600); err != nil {
+	if err := os.WriteFile(tmp, snap, 0o600); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {

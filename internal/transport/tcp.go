@@ -129,21 +129,28 @@ func (s *tcpSender) SendFrame(f wire.Frame) bool {
 
 // TCPClient maintains a client engine's connection to a TCP server,
 // reconnecting with backoff after failures — the roving host's view of an
-// intermittently reachable network.
+// intermittently reachable network. With more than one address it is the
+// failover transport of a replicated home pair: a dial failure rotates to
+// the next address, and Rotate() forces a switch away from a live but
+// unresponsive server. The QRPC handshake makes rotation safe — OnConnect
+// re-sends the Hello and redelivers everything unreplied, and the replicas'
+// shared session state absorbs duplicates.
 type TCPClient struct {
-	addr        string
+	addrs       []string
 	client      *qrpc.Client
 	clock       vtime.Clock
 	policy      faults.RetryPolicy
 	dialTimeout time.Duration
 
-	mu       sync.Mutex
-	conn     net.Conn
-	sender   *tcpSender
-	closed   bool
-	attempts int // total dial attempts (tests poll it instead of sleeping)
-	wg       sync.WaitGroup
-	wake     chan struct{}
+	mu        sync.Mutex
+	conn      net.Conn
+	sender    *tcpSender
+	closed    bool
+	attempts  int // total dial attempts (tests poll it instead of sleeping)
+	addrIdx   int // index into addrs of the address currently targeted
+	rotations int // address switches (failovers)
+	wg        sync.WaitGroup
+	wake      chan struct{}
 }
 
 // TCPClientOptions tune connection behavior.
@@ -164,6 +171,15 @@ type TCPClientOptions struct {
 // It returns immediately; connection happens in the background (the whole
 // point of QRPC is that the application need not wait).
 func DialTCP(addr string, client *qrpc.Client, clock vtime.Clock, opts TCPClientOptions) *TCPClient {
+	return DialTCPMulti([]string{addr}, client, clock, opts)
+}
+
+// DialTCPMulti is DialTCP over a replicated server's address list: the
+// first address is preferred, a failed dial rotates to the next, and
+// Rotate() forces a switch (connection loss or a server shedding load).
+// Addresses wrap around, so a crashed-and-rebuilt primary is retried again
+// after the backups.
+func DialTCPMulti(addrs []string, client *qrpc.Client, clock vtime.Clock, opts TCPClientOptions) *TCPClient {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 5 * time.Second
 	}
@@ -174,7 +190,7 @@ func DialTCP(addr string, client *qrpc.Client, clock vtime.Clock, opts TCPClient
 		jitter = 0
 	}
 	t := &TCPClient{
-		addr:   addr,
+		addrs:  append([]string(nil), addrs...),
 		client: client,
 		clock:  clockOrDefault(clock),
 		policy: faults.RetryPolicy{
@@ -201,10 +217,20 @@ func (t *TCPClient) loop() {
 			return
 		}
 		t.attempts++
+		addr := t.addrs[t.addrIdx]
 		t.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
+		conn, err := net.DialTimeout("tcp", addr, t.dialTimeout)
 		if err != nil {
+			t.mu.Lock()
+			if len(t.addrs) > 1 {
+				// This replica is unreachable; try the next one. Backoff
+				// still grows across consecutive failures so a fully-down
+				// pair is not hammered.
+				t.addrIdx = (t.addrIdx + 1) % len(t.addrs)
+				t.rotations++
+			}
+			t.mu.Unlock()
 			t.sleep(t.policy.JitteredBackoff(fails, rng))
 			fails++
 			continue
@@ -257,6 +283,46 @@ func (t *TCPClient) DialAttempts() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.attempts
+}
+
+// Rotate abandons the current server and targets the next address in the
+// list: the live connection (if any) is severed, which unwinds the read
+// loop into a fresh dial. A one-address client just reconnects. Callers
+// invoke this when the server is reachable but useless — shedding load, or
+// silently partitioned — since dial failures already rotate on their own.
+func (t *TCPClient) Rotate() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if len(t.addrs) > 1 {
+		t.addrIdx = (t.addrIdx + 1) % len(t.addrs)
+		t.rotations++
+	}
+	conn := t.conn
+	t.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Rotations returns how many times the client has switched addresses.
+func (t *TCPClient) Rotations() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rotations
+}
+
+// CurrentAddr returns the address the client is currently targeting.
+func (t *TCPClient) CurrentAddr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[t.addrIdx]
 }
 
 // Kick implements ClientTransport.

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"rover/internal/access"
@@ -45,6 +46,7 @@ import (
 	"rover/internal/proto"
 	"rover/internal/qrpc"
 	"rover/internal/rdo"
+	"rover/internal/repl"
 	"rover/internal/resolve"
 	"rover/internal/server"
 	"rover/internal/session"
@@ -265,6 +267,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		Guarantees: guarantees,
 		AutoExport: !opts.NoAutoExport,
 		Stdout:     opts.Stdout,
+		OnOverload: func() { c.failover() },
 		OnConflict: func(u URN, msg string) {
 			if opts.OnConflict != nil {
 				opts.OnConflict(u, msg)
@@ -290,11 +293,27 @@ func (c *Client) kick() {
 	}
 }
 
+// failover rotates a multi-address transport to its next server. Called
+// when the current server refuses work (hard shed); transports without
+// alternatives just ignore it.
+func (c *Client) failover() {
+	if r, ok := c.tr.(interface{ Rotate() }); ok {
+		r.Rotate()
+	}
+}
+
 // ConnectTCP maintains a connection to a TCP Rover server, reconnecting
 // automatically. It returns immediately. The transport shares the client's
 // clock so engine timestamps stay on one time base.
-func (c *Client) ConnectTCP(addr string) {
-	c.tr = transport.DialTCP(addr, c.engine, c.clock, transport.TCPClientOptions{})
+//
+// Extra addresses name the backups of a replicated home pair: if a dial
+// fails, or the current server sheds load, the client rotates to the next
+// address and re-runs the QRPC handshake there — queued requests redeliver
+// and tentative operations rebase against the survivor, so failover loses
+// no accepted work.
+func (c *Client) ConnectTCP(addr string, backups ...string) {
+	addrs := append([]string{addr}, backups...)
+	c.tr = transport.DialTCPMulti(addrs, c.engine, c.clock, transport.TCPClientOptions{})
 }
 
 // ConnectPipe joins this client to an in-process server and returns the
@@ -468,6 +487,11 @@ type Server struct {
 	srv     *server.Server
 	journal stable.Log // nil unless JournalPath is set
 	opts    ServerOptions
+
+	replMu  sync.Mutex
+	rep     *repl.Replicator
+	replTr  transport.ClientTransport // transport toward the peer, if any
+	replLog stable.Log
 }
 
 // NewServer builds a server.
@@ -554,7 +578,20 @@ func (s *Server) ListenTCP(addr string) (*transport.TCPServer, error) {
 // then closes the session journal if one is configured. Transports attached
 // via ListenTCP are closed separately by their handles.
 func (s *Server) Close() error {
+	s.replMu.Lock()
+	rep, replTr, replLog := s.rep, s.replTr, s.replLog
+	s.rep, s.replTr, s.replLog = nil, nil, nil
+	s.replMu.Unlock()
+	if replTr != nil {
+		replTr.Close()
+	}
+	if rep != nil {
+		rep.Close()
+	}
 	err := s.engine.Close()
+	if replLog != nil {
+		replLog.Close()
+	}
 	if s.journal != nil {
 		if jerr := s.journal.Close(); err == nil {
 			err = jerr
@@ -569,4 +606,127 @@ func (s *Server) SaveSnapshot() error {
 		return errors.New("rover: no SnapshotPath configured")
 	}
 	return s.srv.Store().Save(s.opts.SnapshotPath)
+}
+
+// ServerStats returns the application-layer counters (deltas served,
+// duplicate exports absorbed); engine counters live on Engine().Stats().
+func (s *Server) ServerStats() server.Stats { return s.srv.Stats() }
+
+// ReplicationOptions configure a server's half of a replicated home pair.
+// Both servers of a pair enable replication, each pointing at the other.
+type ReplicationOptions struct {
+	// PeerAddr, when set, immediately starts dialing the peer over TCP.
+	// Leave empty and use AttachPeerTransport for in-process or simulated
+	// links.
+	PeerAddr string
+	// KeyHex authenticates this server's replication client to the peer
+	// (the peer must list "<ServerID>!repl" in its AuthKeys). Empty
+	// disables proofs.
+	KeyHex string
+	// LogPath backs the replication stream with a stable log so a queued
+	// backlog survives this server's own restart; empty selects memory.
+	LogPath string
+	// Instance distinguishes server incarnations that restart WITHOUT
+	// their replication log (a rebuilt replica must not reuse the previous
+	// incarnation's session toward the peer — see repl.ClientID). Leave
+	// empty when LogPath makes the stream durable across restarts.
+	Instance string
+	// Clock overrides time (simulations); nil selects real time.
+	Clock vtime.Clock
+}
+
+// EnableReplication turns this server into half of a replicated home pair:
+// every committed store mutation and executed reply streams to the peer,
+// and the peer's records are applied here. Returns the Replicator for
+// stats and transport attachment. Enable replication on both servers of
+// the pair.
+func (s *Server) EnableReplication(opts ReplicationOptions) (*repl.Replicator, error) {
+	s.replMu.Lock()
+	if s.rep != nil {
+		s.replMu.Unlock()
+		return nil, errors.New("rover: replication already enabled")
+	}
+	s.replMu.Unlock()
+	var key auth.Key
+	if opts.KeyHex != "" {
+		k, err := auth.KeyFromHex(opts.KeyHex)
+		if err != nil {
+			return nil, err
+		}
+		key = k
+	}
+	var log stable.Log
+	if opts.LogPath != "" {
+		fl, err := stable.OpenFileLog(opts.LogPath, stable.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("rover: replication log: %w", err)
+		}
+		log = fl
+	}
+	rep, err := repl.New(repl.Config{
+		ServerID: s.opts.ServerID,
+		Instance: opts.Instance,
+		Engine:   s.engine,
+		Store:    s.srv.Store(),
+		Key:      key,
+		Log:      log,
+		Clock:    opts.Clock,
+		Kick: func() {
+			s.replMu.Lock()
+			tr := s.replTr
+			s.replMu.Unlock()
+			if tr != nil {
+				tr.Kick()
+			}
+		},
+	})
+	if err != nil {
+		if log != nil {
+			log.Close()
+		}
+		return nil, err
+	}
+	s.replMu.Lock()
+	s.rep = rep
+	s.replLog = log
+	s.replMu.Unlock()
+	if opts.PeerAddr != "" {
+		s.ConnectPeerTCP(opts.PeerAddr)
+	}
+	return rep, nil
+}
+
+// Replicator returns the replication layer, or nil if not enabled.
+func (s *Server) Replicator() *repl.Replicator {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.rep
+}
+
+// ConnectPeerTCP points the replication stream at the peer's TCP address,
+// reconnecting with backoff like any Rover client. Requires
+// EnableReplication first.
+func (s *Server) ConnectPeerTCP(addr string) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.rep == nil {
+		return errors.New("rover: replication not enabled")
+	}
+	if s.replTr != nil {
+		s.replTr.Close()
+	}
+	s.replTr = transport.DialTCP(addr, s.rep.Client(), nil, transport.TCPClientOptions{})
+	return nil
+}
+
+// AttachPeerTransport installs a custom transport toward the peer
+// (in-process pipes, network simulators). Requires EnableReplication first.
+func (s *Server) AttachPeerTransport(tr transport.ClientTransport) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.rep == nil {
+		return errors.New("rover: replication not enabled")
+	}
+	s.replTr = tr
+	return nil
 }
