@@ -61,7 +61,38 @@ var (
 	transport_   = flag.String("transport", "", "deprecated alias for -scenario")
 	verbose      = flag.Bool("v", false, "print per-schedule stats")
 	compress     = flag.Bool("compress", false, "clients advertise the compressed-batch capability (exercises the fault schedules over compressed frames)")
+	journShards  = flag.Int("journal-shards", 1, "crash-server: session journal shard count (torn tails and dirty appends land on random shards)")
 )
+
+// flagScenarios maps each scenario-specific flag to the scenarios that
+// honor it. A flag set on the command line but ignored by every selected
+// scenario gets a stderr warning instead of silently doing nothing.
+var flagScenarios = map[string][]string{
+	"compress":       {"sim", "pipe", "mail", "crash", "crash-server"},
+	"journal-shards": {"crash-server"},
+}
+
+// warnIgnoredFlags prints a stderr warning for every explicitly-set
+// scenario-specific flag that none of the picked scenarios honor.
+func warnIgnoredFlags(picked []runner) {
+	pickedNames := map[string]bool{}
+	for _, r := range picked {
+		pickedNames[r.name] = true
+	}
+	flag.Visit(func(f *flag.Flag) {
+		honors, scoped := flagScenarios[f.Name]
+		if !scoped {
+			return
+		}
+		for _, name := range honors {
+			if pickedNames[name] {
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "rover-chaos: warning: -%s has no effect on the selected scenario(s); it applies to: %s\n",
+			f.Name, strings.Join(honors, ", "))
+	})
+}
 
 type runner struct {
 	name string
@@ -100,13 +131,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -scenario %q (valid: %s)\n", scenario, strings.Join(names, ", "))
 		os.Exit(2)
 	}
+	warnIgnoredFlags(picked)
 	start := time.Now()
 	for i := 0; i < *schedules; i++ {
 		s := *seed + int64(i)
 		for _, r := range picked {
 			if err := r.run(s, *verbose); err != nil {
+				extra := ""
+				if *journShards > 1 {
+					extra = fmt.Sprintf(" -journal-shards=%d", *journShards)
+				}
 				fmt.Fprintf(os.Stderr, "VIOLATION scenario=%s seed=%d: %v\n", r.name, s, err)
-				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -scenario=%s -v\n", s, r.name)
+				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -scenario=%s%s -v\n", s, r.name, extra)
 				os.Exit(1)
 			}
 		}
@@ -657,32 +693,53 @@ func runCrashServer(seed int64, verbose bool) error {
 	}
 
 	const compactEvery = 8
+	shards := *journShards
+	if shards < 1 {
+		shards = 1
+	}
+	shardPath := func(i int) string {
+		if i == 0 {
+			return jpath
+		}
+		return fmt.Sprintf("%s.s%d", jpath, i)
+	}
 	var (
 		srv          *qrpc.Server
-		flog         *stable.FileLog
-		jfaults      *faults.Log
+		flogs        []*stable.FileLog
+		jfaults      []*faults.Log
 		pipe         *transport.Pipe
 		incarnations int
 		compactions  int64
 		faultsOn     = true
 	)
-	// boot opens (or reopens) the journal and builds a fresh server
-	// incarnation from it, alternating between inline and pooled execution.
+	// boot opens (or reopens) the journal shards and builds a fresh server
+	// incarnation from them, alternating between inline and pooled execution.
 	boot := func() error {
-		fl, err := stable.OpenFileLog(jpath, stable.Options{})
-		if err != nil {
-			return fmt.Errorf("incarnation %d journal open: %w", incarnations, err)
+		flogs, jfaults = flogs[:0], jfaults[:0]
+		logs := make([]stable.Log, 0, shards)
+		for i := 0; i < shards; i++ {
+			fl, err := stable.OpenFileLog(shardPath(i), stable.Options{})
+			if err != nil {
+				for _, open := range flogs {
+					open.Close()
+				}
+				return fmt.Errorf("incarnation %d journal shard %d open: %w", incarnations, i, err)
+			}
+			jf := faults.WrapLog(fl, seed^0x6a+int64(incarnations)*101+int64(i)*17, faults.LogFaultRates{AppendDirty: 0.10})
+			jf.SetEnabled(faultsOn)
+			flogs, jfaults = append(flogs, fl), append(jfaults, jf)
+			logs = append(logs, jf)
 		}
-		jf := faults.WrapLog(fl, seed^0x6a+int64(incarnations)*101, faults.LogFaultRates{AppendDirty: 0.10})
-		jf.SetEnabled(faultsOn)
 		s := qrpc.NewServer(qrpc.ServerConfig{
 			ServerID:            "chaos-home",
-			Journal:             jf,
+			Journals:            logs,
 			JournalCompactEvery: compactEvery,
 			Workers:             []int{0, 2, 3}[incarnations%3],
 		})
 		if err := s.JournalError(); err != nil {
-			fl.Close()
+			for _, fl := range flogs {
+				fl.Close()
+			}
 			return fmt.Errorf("incarnation %d recovery: %w", incarnations, err)
 		}
 		s.Register("echo", func(_ string, req qrpc.Request) ([]byte, error) {
@@ -691,23 +748,27 @@ func runCrashServer(seed int64, verbose bool) error {
 			mu.Unlock()
 			return req.Args, nil
 		})
-		srv, flog, jfaults = s, fl, jf
+		srv = s
 		pipe = transport.NewPipe(cli, srv, nil)
 		pipe.SetConnected(true)
 		incarnations++
 		return nil
 	}
-	// crash kills the current incarnation (link gone, journal file closed,
-	// optionally a torn trailing write) and boots the next one.
+	// crash kills the current incarnation (link gone, journal files closed,
+	// optionally a torn trailing write on one randomly chosen shard) and
+	// boots the next one.
 	crash := func(torn bool) error {
 		pipe.SetConnected(false)
 		pipe.Close()
 		srv.Close() // waits out background compaction, so the count below is final
 		compactions += srv.Stats().JournalCompactions
-		flog.Close()
+		for _, fl := range flogs {
+			fl.Close()
+		}
 		if torn {
-			if data, err := os.ReadFile(jpath); err == nil && len(data) >= 8 {
-				if f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0); err == nil {
+			victim := shardPath(rng.Intn(shards))
+			if data, err := os.ReadFile(victim); err == nil && len(data) >= 8 {
+				if f, err := os.OpenFile(victim, os.O_APPEND|os.O_WRONLY, 0); err == nil {
 					f.Write(data[:3]) // prefix of a valid record, cut short
 					f.Close()
 				}
@@ -750,7 +811,9 @@ func runCrashServer(seed int64, verbose bool) error {
 	// so rebuild when we see one. Flap the link so redelivery covers
 	// anything stranded.
 	faultsOn = false
-	jfaults.SetEnabled(false)
+	for _, jf := range jfaults {
+		jf.SetEnabled(false)
+	}
 	deadline := time.Now().Add(20 * time.Second)
 	for i := 0; cli.Pending() > 0; i++ {
 		if time.Now().After(deadline) {
@@ -771,8 +834,11 @@ func runCrashServer(seed int64, verbose bool) error {
 	pipe.Close()
 	srv.Close() // waits out background compaction
 	compactions += srv.Stats().JournalCompactions
-	liveRecords := flog.Len()
-	flog.Close()
+	liveRecords := 0
+	for _, fl := range flogs {
+		liveRecords += fl.Len()
+		fl.Close()
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -789,15 +855,16 @@ func runCrashServer(seed int64, verbose bool) error {
 	if compactions == 0 {
 		return fmt.Errorf("journal never compacted across %d incarnations (%d live records)", incarnations, liveRecords)
 	}
-	// Bounded: live records stay near the compaction threshold (snapshot +
-	// one window + slack for appends racing the final compaction), not the
-	// full request history.
-	if liveRecords > 3*compactEvery {
-		return fmt.Errorf("journal unbounded: %d live records after %d compactions (threshold %d)", liveRecords, compactions, compactEvery)
+	// Bounded: live records stay near the compaction threshold per shard
+	// (snapshot + one window + slack for appends racing the final
+	// compaction), not the full request history.
+	if liveRecords > 3*compactEvery*shards {
+		return fmt.Errorf("journal unbounded: %d live records across %d shards after %d compactions (threshold %d)",
+			liveRecords, shards, compactions, compactEvery)
 	}
 	if verbose {
-		fmt.Printf("  crash-server: %d requests, %d incarnations, %d compactions, %d live records\n",
-			len(accepted), incarnations, compactions, liveRecords)
+		fmt.Printf("  crash-server: %d requests, %d incarnations, %d compactions, %d live records across %d shards\n",
+			len(accepted), incarnations, compactions, liveRecords, shards)
 	}
 	return nil
 }

@@ -37,6 +37,10 @@ func main() {
 		serverID     = flag.String("id", "rover-server", "server identity")
 		snapshot     = flag.String("snapshot", "", "object store snapshot path (load at start, save on exit)")
 		journal      = flag.String("journal", "", "session journal path (exactly-once across server restarts)")
+		journShards  = flag.Int("journal-shards", 1, "session journal shard count (parallel group-commit fsync; may grow across restarts, never shrink)")
+		maxSessions  = flag.Int("max-sessions", 0, "admission high-water mark: refuse NEW sessions past this many (0 = unlimited)")
+		sessBudget   = flag.Int("session-budget", 0, "per-session unacked-reply byte budget; at the budget new requests are dropped until acks free it (0 = unlimited)")
+		replyCache   = flag.Int("reply-cache", 0, "encoded-reply cache bytes (0 = default 8 MiB, negative disables)")
 		saveInterval = flag.Duration("save-interval", time.Minute, "periodic snapshot interval (0 disables)")
 		seed         = flag.String("seed", "", "seed demo content: mail, calendar, web, or all")
 		peer         = flag.String("peer", "", "replica peer QRPC address; enables home-pair replication")
@@ -48,9 +52,13 @@ func main() {
 	flag.Parse()
 
 	srv, err := rover.NewServer(rover.ServerOptions{
-		ServerID:     *serverID,
-		SnapshotPath: *snapshot,
-		JournalPath:  *journal,
+		ServerID:           *serverID,
+		SnapshotPath:       *snapshot,
+		JournalPath:        *journal,
+		JournalShards:      *journShards,
+		MaxSessions:        *maxSessions,
+		SessionBudgetBytes: *sessBudget,
+		ReplyCacheBytes:    *replyCache,
 	})
 	if err != nil {
 		log.Fatalf("rover-server: %v", err)
@@ -58,8 +66,8 @@ func main() {
 	defer srv.Close()
 	if *journal != "" {
 		st := srv.Engine().Stats()
-		log.Printf("rover-server: session journal %s (%d sessions, %d replies recovered)",
-			*journal, st.RecoveredSessions, st.RecoveredReplies)
+		log.Printf("rover-server: session journal %s ×%d shards (%d sessions, %d replies recovered, %d resharded)",
+			*journal, max(*journShards, 1), st.RecoveredSessions, st.RecoveredReplies, st.JournalReshards)
 	}
 	if err := seedDemo(srv, *seed); err != nil {
 		log.Fatalf("rover-server: seeding: %v", err)
@@ -130,16 +138,32 @@ func main() {
 }
 
 // logStats prints one periodic line of operational counters: engine
-// activity (including journal health and replicated replies), delta-import
-// service counters, and — when replication is on — the live replication
-// lag plus the stream/anti-entropy counters.
+// activity (including journal health and replicated replies), admission and
+// budget refusals, reply-cache traffic, journal fsync economics (fsyncs per
+// executed op and the measured fsync latency), per-shard journal depths,
+// delta-import service counters, and — when replication is on — the live
+// replication lag plus the stream/anti-entropy counters.
 func logStats(srv *rover.Server) {
 	es := srv.Engine().Stats()
 	ss := srv.ServerStats()
 	line := fmt.Sprintf(
-		"stats: reqs=%d exec=%d replays=%d journalRefused=%d replicatedReplies=%d deltasServed=%d deltaFallbacks=%d dupExports=%d",
-		es.Requests, es.Executed, es.ReplaysServed, es.JournalRefused, es.ReplicatedReplies,
+		"stats: sessions=%d reqs=%d exec=%d replays=%d journalRefused=%d replicatedReplies=%d deltasServed=%d deltaFallbacks=%d dupExports=%d",
+		srv.Engine().SessionCount(), es.Requests, es.Executed, es.ReplaysServed, es.JournalRefused, es.ReplicatedReplies,
 		ss.DeltasServed, ss.DeltaFallbacks, ss.DuplicateExports)
+	line += fmt.Sprintf(" | admission: refused=%d budgetRefused=%d | replyCache: hits=%d misses=%d evictions=%d",
+		es.SessionsRefused, es.BudgetRefused, es.ReplyCacheHits, es.ReplyCacheMisses, es.ReplyCacheEvictions)
+	if js := srv.JournalStats(); len(js) > 0 {
+		var syncs int64
+		for _, st := range js {
+			syncs += st.Syncs
+		}
+		fsyncsPerOp := 0.0
+		if es.Executed > 0 {
+			fsyncsPerOp = float64(syncs) / float64(es.Executed)
+		}
+		line += fmt.Sprintf(" | journal: fsyncs=%d fsyncs/op=%.3f fsyncCost=%s depths=%v",
+			syncs, fsyncsPerOp, srv.JournalCost().Round(time.Microsecond), srv.Engine().JournalShardDepths())
+	}
 	if rep := srv.Replicator(); rep != nil {
 		rs := rep.Stats()
 		line += fmt.Sprintf(

@@ -1,0 +1,457 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"rover"
+	"rover/internal/netsim"
+	"rover/internal/qrpc"
+	"rover/internal/stable"
+	"rover/internal/transport"
+	"rover/internal/vtime"
+	"rover/internal/wire"
+)
+
+// ExpC100K is the connection-scale soak: thousands of concurrent QRPC
+// sessions against one home server, over the simulated link (virtual time,
+// engine-scale only) AND over real TCP with a real sharded file journal.
+// It reports the numbers the C100K engine work is judged on — sustained
+// ops/sec, p99 request latency, fsyncs per executed op, and heap bytes per
+// session — across 1/4/16 journal shards, and asserts zero lost accepted
+// work: every request a session issued completes exactly once with the
+// correct echo.
+//
+// The TCP clients are deliberately lean (one goroutine, one buffered
+// connection, hand-rolled frames) so the measured process can actually
+// hold 2×sessions file descriptors; the soak raises RLIMIT_NOFILE when it
+// can and caps the session count to the limit when it cannot.
+func ExpC100K(o Options) (*Table, error) {
+	sessions := o.scale(10000, 300)
+	perSession := o.scale(10, 4)
+	t := &Table{
+		ID:      "C100K",
+		Title:   fmt.Sprintf("connection-scale soak: %d concurrent sessions, %d reqs each", sessions, perSession),
+		Columns: []string{"variant", "shards", "sessions", "ops", "ops/sec", "p99", "fsyncs/op", "bytes/session", "lost"},
+	}
+	simRes, err := runC100KSim(sessions, o.scale(4, 2), 4)
+	if err != nil {
+		return nil, fmt.Errorf("netsim soak: %w", err)
+	}
+	t.Rows = append(t.Rows, simRes.row("netsim", 4))
+	shardSweep := []int{1, 4, 16}
+	if o.Quick {
+		shardSweep = []int{1, 4}
+	}
+	for _, shards := range shardSweep {
+		res, err := runC100KTCP(sessions, perSession, shards)
+		if err != nil {
+			return nil, fmt.Errorf("tcp soak (%d shards): %w", shards, err)
+		}
+		t.Rows = append(t.Rows, res.row("tcp", shards))
+		if res.lost != 0 {
+			return nil, fmt.Errorf("tcp soak (%d shards): %d accepted requests lost or wrong", shards, res.lost)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"netsim rows run under virtual time (engine scale, modeled flush); tcp rows are wall-clock with a real sharded file journal",
+		"lost counts accepted requests that never completed with the correct result — the soak fails unless it is 0",
+	)
+	return t, nil
+}
+
+// soakResult is one soak run's measurements.
+type soakResult struct {
+	sessions  int
+	ops       int64
+	opsPerSec float64
+	p99       time.Duration
+	fsyncsOp  float64
+	bytesSess int64
+	lost      int64
+}
+
+func (r soakResult) row(variant string, shards int) []string {
+	return []string{
+		variant,
+		fmt.Sprintf("%d", shards),
+		fmt.Sprintf("%d", r.sessions),
+		fmt.Sprintf("%d", r.ops),
+		fmt.Sprintf("%.0f", r.opsPerSec),
+		ms(r.p99),
+		fmt.Sprintf("%.4f", r.fsyncsOp),
+		kb(r.bytesSess),
+		fmt.Sprintf("%d", r.lost),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// netsim variant: N full QRPC client engines against one server engine,
+// each over its own simulated WaveLAN link, all under one virtual-time
+// scheduler. The journal is a sharded MemLog with a modeled flush cost, so
+// the row measures the ENGINE's capacity to hold N concurrent sessions —
+// per-session state, reply caches, shard bookkeeping — not disk behavior.
+
+func runC100KSim(sessions, perSession, shards int) (soakResult, error) {
+	sched := vtime.NewScheduler()
+	logs := make([]stable.Log, shards)
+	for i := range logs {
+		logs[i] = stable.NewMemLog(stable.Options{FlushCost: 2 * time.Millisecond})
+	}
+	srv := qrpc.NewServer(qrpc.ServerConfig{ServerID: "c100k-sim", Journals: logs, MaxSessions: sessions})
+	defer srv.Close()
+	srv.Register("c100k.echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		return req.Args, nil
+	})
+	var (
+		completed int64
+		lost      int64
+		latencies []time.Duration
+	)
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	links := make([]*transport.Sim, sessions)
+	for i := 0; i < sessions; i++ {
+		cli, err := qrpc.NewClient(qrpc.ClientConfig{
+			ClientID: fmt.Sprintf("c100k-sim-%d", i),
+			Log:      stable.NewMemLog(stable.Options{}),
+		})
+		if err != nil {
+			return soakResult{}, err
+		}
+		links[i] = transport.NewSim(sched, netsim.WaveLAN2, int64(i)+1, cli, srv)
+		// Stagger session start times across the first virtual second so the
+		// workload is a soak, not a single synchronized burst.
+		link := links[i]
+		start := vtime.Time(int64(i) * int64(time.Second) / int64(sessions))
+		payload := []byte{byte(i), byte(i >> 8)}
+		sched.At(start, func() {
+			for r := 0; r < perSession; r++ {
+				issued := sched.Now()
+				p, err := cli.Enqueue("c100k.echo", payload, qrpc.PriorityNormal, issued)
+				if err != nil {
+					lost++
+					continue
+				}
+				p.OnComplete(func(p *qrpc.Promise) {
+					result, perr, ok := p.Result()
+					if !ok || perr != nil || !bytes.Equal(result, payload) {
+						lost++
+						return
+					}
+					completed++
+					latencies = append(latencies, time.Duration(sched.Now()-issued))
+				})
+			}
+			link.Kick()
+		})
+	}
+	if _, drained := sched.Run(200_000_000); !drained {
+		return soakResult{}, fmt.Errorf("simulation event budget exhausted")
+	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	elapsed := time.Duration(sched.Now())
+	want := int64(sessions * perSession)
+	lost += want - completed - lost // anything that never completed at all
+	var syncs int64
+	for _, l := range logs {
+		syncs += l.Stats().Syncs
+	}
+	return soakResult{
+		sessions:  sessions,
+		ops:       completed,
+		opsPerSec: float64(completed) / elapsed.Seconds(),
+		p99:       p99(latencies),
+		fsyncsOp:  ratio(syncs, completed),
+		bytesSess: heapPerSession(m0, m1, sessions),
+		lost:      lost,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// tcp variant: the rover facade serving real TCP connections with a real
+// sharded file journal, soaked by lean hand-rolled QRPC clients — dial,
+// Hello, then synchronous request/reply rounds with a trailing ack batch.
+// All sessions are fully connected BEFORE any request is issued, so the
+// request phase measures the server holding `sessions` live sessions.
+
+func runC100KTCP(sessions, perSession, shards int) (soakResult, error) {
+	sessions = capSessionsToFDLimit(sessions)
+	dir, err := os.MkdirTemp("", "rover-c100k")
+	if err != nil {
+		return soakResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := rover.NewServer(rover.ServerOptions{
+		ServerID:      "c100k",
+		JournalPath:   filepath.Join(dir, "journal"),
+		JournalShards: shards,
+		MaxSessions:   sessions, // admission control armed at exactly the soak's high-water mark
+	})
+	if err != nil {
+		return soakResult{}, err
+	}
+	defer srv.Close()
+	srv.Engine().Register("c100k.echo", func(_ string, req qrpc.Request) ([]byte, error) {
+		return req.Args, nil
+	})
+	ln, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return soakResult{}, err
+	}
+	defer ln.Close()
+	addr := ln.Addr()
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	var (
+		completed atomic.Int64
+		lost      atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	workers := make([]*soakClient, sessions)
+	// Connect phase: every session dials and says Hello before any request
+	// flows. The dial semaphore keeps the SYN storm below the listen
+	// backlog; failed dials retry a few times before counting as lost.
+	dialSem := make(chan struct{}, 256)
+	var connectWG sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		workers[i] = &soakClient{id: fmt.Sprintf("c100k-%d", i), payload: []byte{byte(i), byte(i >> 8)}}
+		connectWG.Add(1)
+		go func(c *soakClient) {
+			defer connectWG.Done()
+			dialSem <- struct{}{}
+			defer func() { <-dialSem }()
+			c.connect(addr)
+		}(workers[i])
+	}
+	connectWG.Wait()
+	baseSyncs := sumSyncs(srv.JournalStats())
+	baseExec := srv.Engine().Stats().Executed
+
+	start := make(chan struct{})
+	var soakWG sync.WaitGroup
+	for _, c := range workers {
+		soakWG.Add(1)
+		go func(c *soakClient) {
+			defer soakWG.Done()
+			<-start
+			if c.conn == nil {
+				lost.Add(int64(perSession)) // never connected: its whole workload is lost
+				return
+			}
+			defer c.conn.Close()
+			lats, bad := c.soak(perSession)
+			completed.Add(int64(perSession) - bad)
+			lost.Add(bad)
+			latMu.Lock()
+			latencies = append(latencies, lats...)
+			latMu.Unlock()
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	soakWG.Wait()
+	elapsed := time.Since(t0)
+
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	execed := srv.Engine().Stats().Executed - baseExec
+	syncs := sumSyncs(srv.JournalStats()) - baseSyncs
+	return soakResult{
+		sessions:  sessions,
+		ops:       completed.Load(),
+		opsPerSec: float64(completed.Load()) / elapsed.Seconds(),
+		p99:       p99(latencies),
+		fsyncsOp:  ratio(syncs, execed),
+		bytesSess: heapPerSession(m0, m1, sessions),
+		lost:      lost.Load(),
+	}, nil
+}
+
+// soakClient is one lean TCP session: a single goroutine speaking raw QRPC
+// frames over one buffered connection.
+type soakClient struct {
+	id      string
+	payload []byte
+	conn    net.Conn
+	bw      *bufio.Writer
+	r       *wire.StreamReader
+}
+
+func (c *soakClient) connect(addr string) {
+	for attempt := 0; attempt < 5; attempt++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+			continue
+		}
+		c.conn = conn
+		c.bw = bufio.NewWriterSize(conn, 2<<10)
+		c.r = wire.NewStreamReader(bufio.NewReaderSize(conn, 2<<10))
+		if err := c.send(wire.Frame{Type: wire.FrameHello, Payload: wire.Marshal(&qrpc.Hello{ClientID: c.id, LowSeq: 1})}); err != nil {
+			conn.Close()
+			c.conn = nil
+			continue
+		}
+		return
+	}
+}
+
+func (c *soakClient) send(f wire.Frame) error {
+	if _, err := c.bw.Write(wire.EncodeFrame(f)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// soak issues perSession synchronous echo rounds and a trailing ack batch,
+// returning per-request latencies and the count of requests that failed to
+// complete correctly.
+func (c *soakClient) soak(perSession int) (lats []time.Duration, bad int64) {
+	lats = make([]time.Duration, 0, perSession)
+	var acks []uint64
+	for seq := uint64(1); seq <= uint64(perSession); seq++ {
+		t0 := time.Now()
+		err := c.send(wire.Frame{Type: wire.FrameRequest, Payload: wire.Marshal(&qrpc.Request{
+			Seq: seq, Service: "c100k.echo", Args: c.payload,
+		})})
+		if err != nil {
+			bad++
+			continue
+		}
+		rep, err := c.awaitReply(seq)
+		if err != nil || rep.Status != qrpc.StatusOK || !bytes.Equal(rep.Result, c.payload) {
+			bad++
+			continue
+		}
+		lats = append(lats, time.Since(t0))
+		acks = append(acks, seq)
+	}
+	if len(acks) > 0 {
+		c.send(wire.Frame{Type: wire.FrameAck, Payload: wire.Marshal(&qrpc.Ack{Seqs: acks})})
+	}
+	return lats, bad
+}
+
+// awaitReply reads frames until the reply for seq arrives, unwrapping
+// server-side reply batches. Unrelated frames (redelivered replies, busy
+// markers for other sessions) are skipped.
+func (c *soakClient) awaitReply(seq uint64) (*qrpc.Reply, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	c.conn.SetReadDeadline(deadline)
+	for {
+		f, err := c.r.Next()
+		if err != nil {
+			return nil, err
+		}
+		var candidates []wire.Frame
+		switch f.Type {
+		case wire.FrameBatch:
+			sub, err := wire.UnbatchFrames(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			candidates = sub
+		default:
+			candidates = []wire.Frame{f}
+		}
+		for _, cf := range candidates {
+			if cf.Type == wire.FrameBusy {
+				return nil, fmt.Errorf("admission refused established session")
+			}
+			if cf.Type != wire.FrameReply {
+				continue
+			}
+			var rep qrpc.Reply
+			if err := wire.Unmarshal(cf.Payload, &rep); err != nil {
+				return nil, err
+			}
+			if rep.Seq == seq {
+				return &rep, nil
+			}
+		}
+	}
+}
+
+// capSessionsToFDLimit raises RLIMIT_NOFILE toward 2×sessions + slack
+// (client and server ends live in this one process) and caps the session
+// count to what the resulting limit can actually hold.
+func capSessionsToFDLimit(sessions int) int {
+	const slack = 128
+	want := uint64(2*sessions + slack)
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return min(sessions, 400)
+	}
+	if lim.Cur < want {
+		raised := lim
+		raised.Cur = want
+		if raised.Max < want {
+			raised.Max = want // root may raise the hard limit; others fail harmlessly
+		}
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err != nil {
+			// Retry within the existing hard limit.
+			raised.Cur, raised.Max = lim.Max, lim.Max
+			if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err == nil {
+				lim = raised
+			}
+		} else {
+			lim = raised
+		}
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+	if avail := int(lim.Cur) - slack; avail < 2*sessions {
+		sessions = avail / 2
+	}
+	return sessions
+}
+
+func sumSyncs(stats []stable.Stats) int64 {
+	var n int64
+	for _, st := range stats {
+		n += st.Syncs
+	}
+	return n
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func p99(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)*99/100]
+}
+
+func heapPerSession(m0, m1 runtime.MemStats, sessions int) int64 {
+	if sessions == 0 {
+		return 0
+	}
+	d := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	if d < 0 {
+		d = 0
+	}
+	return d / int64(sessions)
+}

@@ -39,6 +39,7 @@ func init() {
 	register(17, "FIFACE", "extension: roaming across interfaces", ExpFIface)
 	register(18, "FMOSAIC", "extension: browsing over queued e-mail", ExpFMosaic)
 	register(19, "ABWIRE", "bandwidth layer: compression + delta re-import", ExpABWire)
+	register(20, "C100K", "connection-scale soak: sharded journal group commit", ExpC100K)
 }
 
 // Lookup returns an experiment by ID.

@@ -45,6 +45,12 @@ type ClientConfig struct {
 	// OnPong receives liveness probe responses (the network scheduler's
 	// link-quality input).
 	OnPong func(now vtime.Time)
+	// OnBusy, if set, is invoked (outside engine locks) when a server
+	// refuses this client's Hello with a FrameBusy — it is past its
+	// admission high-water mark and this client has no session there. The
+	// owner typically rotates to a backup address; queued requests stay
+	// queued and redeliver after the next successful handshake.
+	OnBusy func()
 	// NonceFn overrides the random nonce source (tests, determinism).
 	NonceFn func() []byte
 }
@@ -441,6 +447,17 @@ func (c *Client) onFrame(f wire.Frame, now vtime.Time, pump bool) {
 	case wire.FramePong:
 		if c.cfg.OnPong != nil {
 			c.cfg.OnPong(now)
+		}
+	case wire.FrameBusy:
+		// The server refused our Hello: it is at its session high-water
+		// mark and we are a stranger there. Nothing is lost — requests are
+		// queued in the stable log — so just count it and let the owner
+		// decide (typically rotate to a backup address and reconnect).
+		c.mu.Lock()
+		c.stats.BusyReceived++
+		c.mu.Unlock()
+		if c.cfg.OnBusy != nil {
+			c.cfg.OnBusy()
 		}
 	}
 }

@@ -138,7 +138,10 @@ func (p *workerPool) worker() {
 }
 
 // runChunk executes one session's tasks serially, coalescing consecutive
-// replies toward the same transport into one batch frame.
+// replies toward the same transport into one batch frame. When the
+// session's journal shard supports staged appends, the whole run commits
+// with one fsync (pipelined group commit) before any reply is released;
+// otherwise each task pays its own group-commit join.
 func (p *workerPool) runChunk(tasks []poolTask) {
 	var out []wire.Frame
 	var to Sender
@@ -147,6 +150,22 @@ func (p *workerPool) runChunk(tasks []poolTask) {
 			p.srv.sendCoalesced(to, out)
 		}
 		out = nil
+	}
+	if !p.isClosed() {
+		if staged, ok := p.srv.executeChunkBatched(tasks); ok {
+			// Everything in staged is durable and published; release the
+			// replies, grouping consecutive same-transport runs.
+			for i := range staged {
+				st := &staged[i]
+				if st.task.from != to {
+					flush()
+					to = st.task.from
+				}
+				out = append(out, wire.Frame{Type: wire.FrameReply, Payload: st.enc})
+			}
+			flush()
+			return
+		}
 	}
 	for i := range tasks {
 		t := &tasks[i]
@@ -164,12 +183,12 @@ func (p *workerPool) runChunk(tasks []poolTask) {
 			flush()
 			to = t.from
 		}
-		rep := p.srv.execute(t.sess, t.clientID, t.handler, t.req)
+		rep, enc := p.srv.execute(t.sess, t.clientID, t.handler, t.req)
 		if rep == nil {
 			// Journal refused the execute (poisoned): nothing to release.
 			continue
 		}
-		out = append(out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+		out = append(out, wire.Frame{Type: wire.FrameReply, Payload: enc})
 	}
 	flush()
 }

@@ -97,6 +97,12 @@ type ClientStats struct {
 	ZBatchesSent int64 // compressed (FrameBatchZ) frames sent
 	Connects     int64
 	Disconnects  int64
+
+	// BusyReceived counts FrameBusy refusals from servers past their
+	// session high-water mark (see ServerConfig.MaxSessions). The engine
+	// surfaces each via ClientConfig.OnBusy so the owner can rotate to a
+	// backup server; queued requests stay queued and redeliver later.
+	BusyReceived int64
 }
 
 // ServerStats counts server-engine activity.
@@ -115,10 +121,23 @@ type ServerStats struct {
 	// InstallReply (reply-cache continuity across failover).
 	ReplicatedReplies int64
 
-	// Session-journal counters (zero when ServerConfig.Journal is nil).
+	// Session-journal counters (zero when the server has no journal).
 	JournalRecords     int64 // exec/ack/prune records appended
 	JournalCompactions int64 // snapshot+truncate cycles completed
 	JournalRefused     int64 // requests refused because the journal is poisoned
 	RecoveredSessions  int64 // sessions rebuilt from the journal at construction
 	RecoveredReplies   int64 // cached replies rebuilt from the journal at construction
+	JournalReshards    int64 // sessions rewritten into their home shard at recovery
+
+	// Admission-control and budget counters (see ServerConfig.MaxSessions
+	// and SessionBudgetBytes).
+	SessionsRefused int64 // Hellos from NEW clients refused with FrameBusy
+	BudgetRefused   int64 // new requests dropped: session over its reply budget
+
+	// Encoded-reply cache counters (see ServerConfig.ReplyCacheBytes).
+	// Replays and repl exec-streaming served from the cache skip a
+	// Reply re-marshal.
+	ReplyCacheHits      int64
+	ReplyCacheMisses    int64
+	ReplyCacheEvictions int64
 }

@@ -1,0 +1,119 @@
+package qrpc
+
+import "container/list"
+
+// replyCache is a server-global, byte-bounded LRU of *encoded* replies.
+//
+// The at-most-once machinery keeps decoded Replies in each session until
+// the client acknowledges them; before this cache, every redelivered
+// request (and every exec record streamed to a replica) paid a fresh
+// wire.Marshal of the same Reply. The cache keeps the encoding produced at
+// execution time so the replay path and the replication hook reuse it —
+// the marshal happens once, at execute.
+//
+// It is an optimization only: eviction can never break correctness because
+// the decoded Reply stays in the session cache and a miss simply re-encodes
+// it (ServerStats.ReplyCacheHits/Misses/Evictions count the traffic).
+// Entries are dropped eagerly when their reply is acked or pruned. All
+// methods are nil-receiver safe (a nil cache means "disabled") and callers
+// hold Server.mu.
+type replyCache struct {
+	max int // byte budget across all entries
+	cur int
+	ll  *list.List // front = most recently used; values are *replyCacheEntry
+	m   map[replyCacheKey]*list.Element
+}
+
+type replyCacheKey struct {
+	clientID string
+	seq      uint64
+}
+
+type replyCacheEntry struct {
+	key replyCacheKey
+	enc []byte
+}
+
+// defaultReplyCacheBytes is the budget when ServerConfig.ReplyCacheBytes
+// is zero. Sized so ~10k sessions with one smallish unacked reply each fit.
+const defaultReplyCacheBytes = 8 << 20
+
+// newReplyCache builds a cache with the given byte budget: zero selects the
+// default, negative disables the cache entirely (returns nil).
+func newReplyCache(budget int) *replyCache {
+	if budget < 0 {
+		return nil
+	}
+	if budget == 0 {
+		budget = defaultReplyCacheBytes
+	}
+	return &replyCache{
+		max: budget,
+		ll:  list.New(),
+		m:   make(map[replyCacheKey]*list.Element),
+	}
+}
+
+func (c *replyCache) get(clientID string, seq uint64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.m[replyCacheKey{clientID: clientID, seq: seq}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*replyCacheEntry).enc, true
+}
+
+// put inserts (or refreshes) an encoding and returns how many older entries
+// were evicted to stay inside the budget. Encodings larger than the whole
+// budget are not cached — they would evict everything and then miss anyway.
+func (c *replyCache) put(clientID string, seq uint64, enc []byte) int64 {
+	if c == nil || len(enc) > c.max {
+		return 0
+	}
+	key := replyCacheKey{clientID: clientID, seq: seq}
+	if el, ok := c.m[key]; ok {
+		ent := el.Value.(*replyCacheEntry)
+		c.cur += len(enc) - len(ent.enc)
+		ent.enc = enc
+		c.ll.MoveToFront(el)
+	} else {
+		c.m[key] = c.ll.PushFront(&replyCacheEntry{key: key, enc: enc})
+		c.cur += len(enc)
+	}
+	var evicted int64
+	for c.cur > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*replyCacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, ent.key)
+		c.cur -= len(ent.enc)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *replyCache) delete(clientID string, seq uint64) {
+	if c == nil {
+		return
+	}
+	key := replyCacheKey{clientID: clientID, seq: seq}
+	if el, ok := c.m[key]; ok {
+		c.cur -= len(el.Value.(*replyCacheEntry).enc)
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
+// bytes reports the current cached payload size (stats/tests).
+func (c *replyCache) bytes() int {
+	if c == nil {
+		return 0
+	}
+	return c.cur
+}

@@ -47,12 +47,50 @@ type ServerConfig struct {
 	// journal fails (stable.ErrPoisoned) or cannot be replayed, the server
 	// refuses further executes rather than continue without durability; see
 	// JournalError. The caller owns the log and closes it after Close.
+	//
+	// Journal is the single-shard convenience form; it is ignored when
+	// Journals is set.
 	Journal stable.Log
-	// JournalCompactEvery bounds the journal: once more than this many live
-	// records accumulate, a background compaction snapshots all session
-	// state into one record and removes the records it supersedes. Zero
-	// selects the default (1024).
+	// Journals shards the session journal across N independent stable logs
+	// keyed by session hash, so each shard elects its own group-commit
+	// fsync leader and up to N fsyncs proceed in parallel instead of every
+	// worker convoying behind one (see the package comment in journal.go).
+	// All shard logs are replayed and merged at construction; a session
+	// recovered outside its home shard (the shard count changed) is
+	// resharded once, durably, before the server is reachable. The caller
+	// owns the logs and closes them after Close. Shard counts may grow
+	// between incarnations but must never shrink — records in dropped logs
+	// would be silently unread (rover.NewServer enforces this for its
+	// on-disk shard files).
+	Journals []stable.Log
+	// JournalCompactEvery bounds each journal shard: once more than this
+	// many live records accumulate in a shard, a background compaction
+	// snapshots that shard's session state into one record and removes the
+	// records it supersedes. Zero selects the default (1024).
 	JournalCompactEvery int
+	// MaxSessions is the admission-control high-water mark: when positive,
+	// a Hello from a clientID the server has no session for is refused with
+	// a FrameBusy once MaxSessions sessions exist. Established sessions are
+	// always re-admitted — refusing them would strand their queued work —
+	// so the mark bounds growth, not reconnects; size it with headroom.
+	// ServerStats.SessionsRefused counts refusals. Zero disables admission
+	// control.
+	MaxSessions int
+	// SessionBudgetBytes bounds the approximate bytes of executed-but-
+	// unacknowledged reply payloads one session may hold. A session at its
+	// budget has NEW requests dropped (counted in ServerStats.BudgetRefused)
+	// until acks or a Hello LowSeq release cached replies; the client's
+	// redelivery machinery retries them later, so the budget is
+	// backpressure, not loss. Cached replies are never evicted by the
+	// budget — dropping one would re-execute its redelivered request and
+	// break at-most-once. Zero means unbounded.
+	SessionBudgetBytes int
+	// ReplyCacheBytes bounds the server-global cache of encoded replies
+	// that lets redelivery replays and replication exec-streaming reuse the
+	// encoding produced at execution time instead of re-marshaling (an LRU;
+	// eviction only costs a re-marshal on the next replay). Zero selects
+	// the default (8 MiB); negative disables the cache.
+	ReplyCacheBytes int
 }
 
 // session is the per-client redelivery state. It lives across transport
@@ -73,6 +111,17 @@ type session struct {
 	maxExec uint64
 	lowSeq  uint64
 	sender  Sender // most recent transport, for callbacks
+	// replyBytes approximates the payload bytes held in replies (see
+	// replyApproxSize); ServerConfig.SessionBudgetBytes bounds it.
+	replyBytes int
+}
+
+// replyApproxSize is the budget charge for one cached reply: its payload
+// bytes plus a small fixed overhead. Computed from the decoded Reply (not
+// its encoding) so the charge can be reversed at ack/prune time without
+// retaining the encoding.
+func replyApproxSize(rep *Reply) int {
+	return 16 + len(rep.Result) + len(rep.ErrMsg)
 }
 
 // conn is per-transport state: which client the transport authenticated
@@ -95,28 +144,29 @@ type Server struct {
 	pool     *workerPool // nil in inline mode
 
 	// onExecuted, when set (SetOnExecuted), observes every execution after
-	// its reply is recorded in the session cache (and journaled). The
+	// its reply is recorded in the session cache (and journaled), with the
+	// reply's wire encoding so observers need not re-marshal. The
 	// replication layer streams these to the peer so a failed-over client's
 	// redeliveries are answered from cache there too. Runs outside mu.
-	onExecuted func(clientID string, req Request, rep *Reply)
+	onExecuted func(clientID string, req Request, rep *Reply, enc []byte)
 
-	// Journal state (see journal.go). jgate orders journal appends against
-	// compaction snapshots: appenders hold the read side across their
-	// append AND the s.mu bookkeeping that tracks the new record's id, so
-	// the write side observes "every live record's effect is in sessions
-	// and its id is in journalIDs" — the invariant compaction relies on.
-	// Lock order: jgate before mu; mu is a leaf elsewhere.
-	jgate      sync.RWMutex
-	journalErr error    // sticky (under mu): recovery or append failure
-	journalIDs []uint64 // under mu: live journal ids compaction may remove
-	compacting bool     // under mu: one background compaction at a time
+	// replyCache holds encoded replies for the replay path (under mu; nil
+	// when disabled). See replycache.go.
+	replyCache *replyCache
+
+	// Journal state (see journal.go): the shard set is immutable after
+	// construction; each shard's gate orders its appends against its
+	// compaction. journalErr is sticky and server-wide.
+	shards     []*journalShard
+	journalErr error // sticky (under mu): recovery or append failure
 	compactWG  sync.WaitGroup
 }
 
-// NewServer builds a server engine. When cfg.Journal is set, the journal is
-// replayed to rebuild per-session exactly-once state; if replay fails, the
-// server still constructs but refuses to execute requests (JournalError
-// reports why) — a half-recovered reply cache must never execute.
+// NewServer builds a server engine. When cfg.Journals (or the singular
+// cfg.Journal) is set, every journal shard is replayed and merged to
+// rebuild per-session exactly-once state; if replay fails, the server still
+// constructs but refuses to execute requests (JournalError reports why) — a
+// half-recovered reply cache must never execute.
 func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
 		cfg:      cfg,
@@ -124,10 +174,19 @@ func NewServer(cfg ServerConfig) *Server {
 		sessions: make(map[string]*session),
 		conns:    make(map[Sender]*conn),
 	}
+	s.replyCache = newReplyCache(cfg.ReplyCacheBytes)
 	if cfg.Workers > 0 {
 		s.pool = newWorkerPool(s, cfg.Workers)
 	}
-	if cfg.Journal != nil {
+	journals := cfg.Journals
+	if len(journals) == 0 && cfg.Journal != nil {
+		journals = []stable.Log{cfg.Journal}
+	}
+	for i, log := range journals {
+		bl, _ := log.(stable.BatchLog)
+		s.shards = append(s.shards, &journalShard{idx: i, log: log, batch: bl})
+	}
+	if s.hasJournal() {
 		if err := s.recoverJournal(); err != nil {
 			s.journalErr = fmt.Errorf("qrpc: journal recovery: %w", err)
 		}
@@ -254,6 +313,17 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 			return
 		}
 	}
+	if s.cfg.MaxSessions > 0 && s.sessions[h.ClientID] == nil && len(s.sessions) >= s.cfg.MaxSessions {
+		// Admission control: past the high-water mark, NEW sessions are
+		// refused (a FrameBusy tells the client to rotate to a backup or
+		// retry later) while established ones always re-admit — their
+		// queued work must be able to drain. The connection stays unauthed,
+		// so any requests the client sends anyway are dropped, not executed.
+		s.stats.SessionsRefused++
+		s.mu.Unlock()
+		*out = append(*out, wire.Frame{Type: wire.FrameBusy})
+		return
+	}
 	cn.clientID = h.ClientID
 	cn.authed = true
 	// Record the intersection of the client's capabilities and ours.
@@ -270,7 +340,9 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 		// replies and ack records there are dead weight.
 		for seq := range sess.replies {
 			if seq < sess.lowSeq {
+				sess.replyBytes -= replyApproxSize(sess.replies[seq])
 				delete(sess.replies, seq)
+				s.replyCache.delete(h.ClientID, seq)
 			}
 		}
 		for seq := range sess.acked {
@@ -286,42 +358,43 @@ func (s *Server) onHello(from Sender, payload []byte, out *[]wire.Frame) {
 		// Unlike exec records this is apply-then-log: a lost prune record
 		// only means the recovered acked map is larger until the client's
 		// next Hello advertises the floor again.
-		s.journalSessionRecord(func() []byte { return encodePruneRecord(h.ClientID, h.LowSeq) })
+		s.journalSessionRecord(h.ClientID, func() []byte { return encodePruneRecord(h.ClientID, h.LowSeq) })
 	}
 	*out = append(*out, wire.Frame{Type: wire.FrameWelcome, Payload: wire.Marshal(w)})
 }
 
-// journalSessionRecord appends one non-exec session record (ack or prune)
-// under the journal gate's read side and tracks its id for compaction. It
-// is a no-op when no journal is configured or the journal is poisoned; an
-// append failure poisons the journal. The in-memory state change these
-// records describe proceeds regardless — losing one costs recovered-state
-// memory, never correctness.
-func (s *Server) journalSessionRecord(encode func() []byte) {
-	if s.cfg.Journal == nil {
+// journalSessionRecord appends one session record (exec-install, ack or
+// prune) to the session's home shard under that shard's gate read side and
+// tracks its id for compaction. It is a no-op when no journal is configured
+// or the journal is poisoned; an append failure poisons the journal. The
+// in-memory state change these records describe proceeds regardless —
+// losing one costs recovered-state memory, never correctness.
+func (s *Server) journalSessionRecord(clientID string, encode func() []byte) {
+	if !s.hasJournal() {
 		return
 	}
-	s.jgate.RLock()
-	defer s.jgate.RUnlock()
+	sh := s.shardFor(clientID)
+	sh.gate.RLock()
+	defer sh.gate.RUnlock()
 	s.mu.Lock()
 	poisoned := s.journalErr != nil
 	s.mu.Unlock()
 	if poisoned {
 		return
 	}
-	id, err := s.cfg.Journal.Append(encode())
+	id, err := sh.log.Append(encode())
 	s.mu.Lock()
 	if err != nil {
 		s.poisonJournalLocked(err)
 		s.mu.Unlock()
 		return
 	}
-	s.journalIDs = append(s.journalIDs, id)
+	sh.ids = append(sh.ids, id)
 	s.stats.JournalRecords++
-	compact := s.shouldCompactLocked()
+	compact := s.shouldCompactLocked(sh)
 	s.mu.Unlock()
 	if compact {
-		go s.compactJournal()
+		go s.compactJournal(sh.idx)
 	}
 }
 
@@ -357,10 +430,21 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time, out *[]w
 	sess.sender = from
 	s.stats.Requests++
 	if cached, ok := sess.replies[req.Seq]; ok {
-		// Redelivered request already executed: replay the reply.
+		// Redelivered request already executed: replay the reply, reusing
+		// the encoding cached at execution time when it is still around (a
+		// miss — evicted, or recovered from the journal — re-marshals and
+		// repopulates the cache).
 		s.stats.ReplaysServed++
+		enc, hit := s.replyCache.get(cn.clientID, req.Seq)
+		if hit {
+			s.stats.ReplyCacheHits++
+		} else {
+			s.stats.ReplyCacheMisses++
+			enc = wire.Marshal(cached)
+			s.stats.ReplyCacheEvictions += s.replyCache.put(cn.clientID, req.Seq, enc)
+		}
 		s.mu.Unlock()
-		*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(cached)})
+		*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: enc})
 		return
 	}
 	if sess.acked[req.Seq] || req.Seq < sess.lowSeq || sess.executing[req.Seq] {
@@ -376,6 +460,15 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time, out *[]w
 		// reopening the double-execution window. Cached replays (above)
 		// are still served; new work waits for a repaired incarnation.
 		s.stats.JournalRefused++
+		s.mu.Unlock()
+		return
+	}
+	if s.cfg.SessionBudgetBytes > 0 && sess.replyBytes >= s.cfg.SessionBudgetBytes {
+		// The session holds its budget's worth of unacknowledged reply
+		// payloads. Dropping the NEW request (never a cached reply — that
+		// would break at-most-once) is safe backpressure: the client
+		// redelivers it after acks or a Hello LowSeq free the budget.
+		s.stats.BudgetRefused++
 		s.mu.Unlock()
 		return
 	}
@@ -396,29 +489,88 @@ func (s *Server) onRequest(from Sender, payload []byte, now vtime.Time, out *[]w
 	// may re-enter the server, e.g. SendCallback) and coalesce the reply
 	// with the rest of the batch's output. A nil reply means the journal
 	// refused the execute; nothing may be released.
-	if rep := s.execute(sess, clientID, handler, req); rep != nil {
-		*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: wire.Marshal(rep)})
+	if rep, enc := s.execute(sess, clientID, handler, req); rep != nil {
+		*out = append(*out, wire.Frame{Type: wire.FrameReply, Payload: enc})
 	}
 }
 
 // execute runs a dispatched request's handler outside engine locks, records
-// the reply in the session's at-most-once cache, and returns it. When the
-// server has a journal, the reply is write-ahead-logged before it is
-// recorded or returned — no transport can observe a reply the journal does
-// not hold. A nil return means the journal refused the execute (poisoned
-// mid-dispatch or the exec append failed): the handler may or may not have
-// run, nothing is released, and the client redelivers to a future, repaired
-// incarnation whose recovery decides from the journal alone.
-func (s *Server) execute(sess *session, clientID string, handler Handler, req Request) *Reply {
-	if s.cfg.Journal != nil && s.JournalError() != nil {
+// the reply in the session's at-most-once cache, and returns it together
+// with its wire encoding (marshaled exactly once here; the journal record,
+// the reply frame, the encoded-reply cache, and the onExecuted hook all
+// reuse it). When the server has a journal, the reply is write-ahead-logged
+// to the session's home shard before it is recorded or returned — no
+// transport can observe a reply the journal does not hold. A nil return
+// means the journal refused the execute (poisoned mid-dispatch or the exec
+// append failed): the handler may or may not have run, nothing is released,
+// and the client redelivers to a future, repaired incarnation whose
+// recovery decides from the journal alone.
+func (s *Server) execute(sess *session, clientID string, handler Handler, req Request) (*Reply, []byte) {
+	if s.hasJournal() && s.JournalError() != nil {
 		// Poisoned between dispatch and execution (e.g. a queued pool task
 		// behind the append that failed): refuse before running the handler.
 		s.mu.Lock()
 		delete(sess.executing, req.Seq)
 		s.stats.JournalRefused++
 		s.mu.Unlock()
-		return nil
+		return nil, nil
 	}
+	rep := runHandler(clientID, handler, req)
+	enc := wire.Marshal(rep)
+
+	journaled := false
+	var jid uint64
+	var sh *journalShard
+	if s.hasJournal() {
+		// The durability write, to the session's home shard. Concurrent
+		// executes coalesce onto that shard's group-commit fsync — and
+		// different shards' leaders fsync in parallel — so this is
+		// amortized, not one sync per request. The gate's read side is held
+		// across append AND the bookkeeping below — see journalShard.gate.
+		sh = s.shardFor(clientID)
+		sh.gate.RLock()
+		defer sh.gate.RUnlock()
+		id, err := sh.log.Append(encodeExecRecordEnc(clientID, enc))
+		if err != nil {
+			s.mu.Lock()
+			s.poisonJournalLocked(err)
+			delete(sess.executing, req.Seq)
+			s.stats.JournalRefused++
+			s.mu.Unlock()
+			return nil, nil
+		}
+		jid, journaled = id, true
+	}
+
+	s.mu.Lock()
+	delete(sess.executing, req.Seq)
+	sess.replies[req.Seq] = rep
+	sess.replyBytes += replyApproxSize(rep)
+	if req.Seq > sess.maxExec {
+		sess.maxExec = req.Seq
+	}
+	s.stats.Executed++
+	s.stats.ReplyCacheEvictions += s.replyCache.put(clientID, req.Seq, enc)
+	var compact bool
+	if journaled {
+		sh.ids = append(sh.ids, jid)
+		s.stats.JournalRecords++
+		compact = s.shouldCompactLocked(sh)
+	}
+	hook := s.onExecuted
+	s.mu.Unlock()
+	if compact {
+		go s.compactJournal(sh.idx)
+	}
+	if hook != nil {
+		hook(clientID, req, rep, enc)
+	}
+	return rep, enc
+}
+
+// runHandler executes one request's handler and builds its reply. Handler
+// panics are not recovered here, matching execute's historical behavior.
+func runHandler(clientID string, handler Handler, req Request) *Reply {
 	rep := &Reply{Seq: req.Seq}
 	if handler == nil {
 		rep.Status = StatusNoService
@@ -430,55 +582,115 @@ func (s *Server) execute(sess *session, clientID string, handler Handler, req Re
 		rep.Status = StatusOK
 		rep.Result = result
 	}
+	return rep
+}
 
-	journaled := false
-	var jid uint64
-	if s.cfg.Journal != nil {
-		// The durability write. Concurrent executes from the worker pool
-		// coalesce onto the stable log's group-commit fsync, so this is
-		// amortized, not one sync per request. The gate's read side is held
-		// across append AND the bookkeeping below — see Server.jgate.
-		s.jgate.RLock()
-		defer s.jgate.RUnlock()
-		id, err := s.cfg.Journal.Append(encodeExecRecord(clientID, rep))
+// stagedExec is one executed task of a batched chunk: the handler has run
+// and its exec record is written to the home shard, but nothing is durable
+// or published until the chunk's single commit lands.
+type stagedExec struct {
+	task poolTask
+	rep  *Reply
+	enc  []byte
+	jid  uint64
+}
+
+// executeChunkBatched runs one session's task run with pipelined group
+// commit: handlers execute back-to-back in order, each exec record staged
+// on the session's home shard WITHOUT waiting for durability, then one
+// commit covers the whole run before any reply is published. Per-session
+// ordering is untouched — what is amortized is the fsync (a run of K tasks
+// joins one group commit instead of K) and the server lock (one bookkeeping
+// pass for the run). At-most-once holds throughout: until the commit
+// returns, the tasks' dispatch marks (sess.executing) stay set, so a
+// concurrent redelivery is dropped rather than answered from a reply whose
+// journal record is not yet durable — WAL-before-release is never weakened.
+//
+// ok=false means the chunk cannot take this path (no journal, or the
+// shard's log cannot stage appends — e.g. a fault-injection wrapper); the
+// caller falls back to per-task execute(). ok=true with an empty result
+// means the journal refused the run (poisoned before or during it): the
+// handlers may or may not have run, nothing is released, and the clients
+// redeliver to a repaired incarnation.
+func (s *Server) executeChunkBatched(tasks []poolTask) (staged []stagedExec, ok bool) {
+	if len(tasks) == 0 {
+		return nil, true
+	}
+	if !s.hasJournal() {
+		return nil, false
+	}
+	sh := s.shardFor(tasks[0].clientID)
+	if sh.batch == nil {
+		return nil, false
+	}
+	refuse := func(err error) {
+		s.mu.Lock()
 		if err != nil {
-			s.mu.Lock()
 			s.poisonJournalLocked(err)
-			delete(sess.executing, req.Seq)
-			s.stats.JournalRefused++
-			s.mu.Unlock()
-			return nil
 		}
-		jid, journaled = id, true
+		for i := range tasks {
+			delete(tasks[i].sess.executing, tasks[i].req.Seq)
+		}
+		s.stats.JournalRefused += int64(len(tasks))
+		s.mu.Unlock()
 	}
-
+	if s.JournalError() != nil {
+		refuse(nil)
+		return nil, true
+	}
+	// The gate's read side is held across every staged append AND the
+	// bookkeeping below, exactly like execute's single-append window, so
+	// compaction's write side still observes the full invariant.
+	sh.gate.RLock()
+	defer sh.gate.RUnlock()
+	staged = make([]stagedExec, 0, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		rep := runHandler(t.clientID, t.handler, t.req)
+		enc := wire.Marshal(rep)
+		jid, err := sh.batch.AppendNoSync(encodeExecRecordEnc(t.clientID, enc))
+		if err != nil {
+			refuse(err)
+			return nil, true
+		}
+		staged = append(staged, stagedExec{task: *t, rep: rep, enc: enc, jid: jid})
+	}
+	if err := sh.batch.Commit(); err != nil {
+		refuse(err)
+		return nil, true
+	}
 	s.mu.Lock()
-	delete(sess.executing, req.Seq)
-	sess.replies[req.Seq] = rep
-	if req.Seq > sess.maxExec {
-		sess.maxExec = req.Seq
-	}
-	s.stats.Executed++
-	var compact bool
-	if journaled {
-		s.journalIDs = append(s.journalIDs, jid)
+	for i := range staged {
+		st := &staged[i]
+		sess := st.task.sess
+		delete(sess.executing, st.task.req.Seq)
+		sess.replies[st.task.req.Seq] = st.rep
+		sess.replyBytes += replyApproxSize(st.rep)
+		if st.task.req.Seq > sess.maxExec {
+			sess.maxExec = st.task.req.Seq
+		}
+		s.stats.Executed++
+		s.stats.ReplyCacheEvictions += s.replyCache.put(st.task.clientID, st.task.req.Seq, st.enc)
+		sh.ids = append(sh.ids, st.jid)
 		s.stats.JournalRecords++
-		compact = s.shouldCompactLocked()
 	}
+	compact := s.shouldCompactLocked(sh)
 	hook := s.onExecuted
 	s.mu.Unlock()
 	if compact {
-		go s.compactJournal()
+		go s.compactJournal(sh.idx)
 	}
 	if hook != nil {
-		hook(clientID, req, rep)
+		for i := range staged {
+			hook(staged[i].task.clientID, staged[i].task.req, staged[i].rep, staged[i].enc)
+		}
 	}
-	return rep
+	return staged, true
 }
 
 // SetOnExecuted installs the execution observer (see Server.onExecuted).
 // Install it before the server sees traffic; pass nil to remove it.
-func (s *Server) SetOnExecuted(fn func(clientID string, req Request, rep *Reply)) {
+func (s *Server) SetOnExecuted(fn func(clientID string, req Request, rep *Reply, enc []byte)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.onExecuted = fn
@@ -506,13 +718,16 @@ func (s *Server) InstallReply(clientID string, rep *Reply) bool {
 		return false
 	}
 	cp := *rep
+	enc := wire.Marshal(&cp)
 	sess.replies[rep.Seq] = &cp
+	sess.replyBytes += replyApproxSize(&cp)
 	if rep.Seq > sess.maxExec {
 		sess.maxExec = rep.Seq
 	}
 	s.stats.ReplicatedReplies++
+	s.stats.ReplyCacheEvictions += s.replyCache.put(clientID, rep.Seq, enc)
 	s.mu.Unlock()
-	s.journalSessionRecord(func() []byte { return encodeExecRecord(clientID, &cp) })
+	s.journalSessionRecord(clientID, func() []byte { return encodeExecRecordEnc(clientID, enc) })
 	return true
 }
 
@@ -530,7 +745,11 @@ func (s *Server) onAck(from Sender, payload []byte) {
 	clientID := cn.clientID
 	sess := s.sessionLocked(clientID)
 	for _, seq := range ack.Seqs {
-		delete(sess.replies, seq)
+		if rep, ok := sess.replies[seq]; ok {
+			sess.replyBytes -= replyApproxSize(rep)
+			delete(sess.replies, seq)
+		}
+		s.replyCache.delete(clientID, seq)
 		sess.acked[seq] = true
 		s.stats.AcksReceived++
 	}
@@ -539,7 +758,7 @@ func (s *Server) onAck(from Sender, payload []byte) {
 	// too. Apply-then-log, like prune records: losing an ack record means a
 	// fatter recovered cache, never a correctness violation (the client
 	// already consumed the replies and will not redeliver).
-	s.journalSessionRecord(func() []byte { return encodeAckRecord(clientID, ack.Seqs) })
+	s.journalSessionRecord(clientID, func() []byte { return encodeAckRecord(clientID, ack.Seqs) })
 }
 
 // SendCallback pushes a notification to a client's current transport. It
@@ -633,6 +852,14 @@ type SessionInfo struct {
 	// replayed): all idempotency state below it has been pruned.
 	LowSeq    uint64
 	Connected bool
+}
+
+// SessionCount reports how many client sessions the server holds (the
+// quantity ServerConfig.MaxSessions bounds).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
 }
 
 // Sessions lists the server's client sessions.

@@ -46,11 +46,12 @@ type FileLog struct {
 	// Group-commit state. Writes are sequenced under mu; fsync happens with
 	// mu RELEASED so concurrent appenders can queue more writes behind the
 	// in-flight flush and then ride the next one. See commitLocked.
-	writeSeq  uint64     // writes issued to the file
-	syncedSeq uint64     // writes known durable
-	syncing   bool       // an fsync is in flight (mu released by the leader)
-	syncErr   error      // sticky: the first fsync failure poisons the log
-	synced    *sync.Cond // broadcast when a sync completes (or fails)
+	writeSeq  uint64        // writes issued to the file
+	syncedSeq uint64        // writes known durable
+	syncing   bool          // an fsync is in flight (mu released by the leader)
+	syncErr   error         // sticky: the first fsync failure poisons the log
+	synced    *sync.Cond    // broadcast when a sync completes (or fails)
+	syncEWMA  time.Duration // rolling measured fsync latency (see Cost)
 }
 
 type liveRec struct {
@@ -66,7 +67,7 @@ const (
 	compactFloor = 64 << 10 // don't bother compacting tiny logs
 )
 
-var _ Log = (*FileLog)(nil)
+var _ BatchLog = (*FileLog)(nil)
 
 // OpenFileLog opens or creates the log at path, replaying its contents.
 func OpenFileLog(path string, opts Options) (*FileLog, error) {
@@ -220,16 +221,59 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 func (l *FileLog) Append(rec []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	id, seq, err := l.appendLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.commitLocked(seq); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// AppendNoSync implements BatchLog: the record is written and sequenced
+// exactly like Append, but the call returns without waiting for the flush.
+// The staged record becomes durable at the next Commit (or any later
+// durable Append/Remove, whose group-commit leader covers it); until then a
+// crash loses it as a torn tail. Close's final safety sync also covers a
+// staged suffix.
+func (l *FileLog) AppendNoSync(rec []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.syncErr != nil {
+		// Append surfaces the sticky poison through commitLocked; the
+		// no-wait path must refuse up front or the caller would stage
+		// records nothing can ever make durable.
+		return 0, l.syncErr
+	}
+	id, _, err := l.appendLocked(rec)
+	return id, err
+}
+
+// Commit implements BatchLog: blocks until every record appended so far —
+// including AppendNoSync staging — is durable, riding the group commit.
+func (l *FileLog) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
-		return 0, ErrClosed
+		return ErrClosed
+	}
+	return l.commitLocked(l.writeSeq)
+}
+
+// appendLocked writes one append record and returns its id and write
+// sequence number; the caller decides whether to wait for durability.
+func (l *FileLog) appendLocked(rec []byte) (uint64, uint64, error) {
+	if l.closed {
+		return 0, 0, ErrClosed
 	}
 	if len(rec) > MaxRecord {
-		return 0, ErrRecordBig
+		return 0, 0, ErrRecordBig
 	}
 	id := l.next
 	l.next++
 	if err := l.writeRecord(kindAppend, id, rec); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	cp := make([]byte, len(rec))
 	copy(cp, rec)
@@ -238,7 +282,7 @@ func (l *FileLog) Append(rec []byte) (uint64, error) {
 	l.liveBytes += int64(len(rec))
 	l.stats.Appends++
 	l.stats.BytesLogical += int64(len(rec))
-	return id, nil
+	return id, l.writeSeq, nil
 }
 
 // Remove implements Log.
@@ -255,13 +299,17 @@ func (l *FileLog) Remove(id uint64) error {
 	if err := l.writeRecord(kindRemove, id, nil); err != nil {
 		return err
 	}
+	if err := l.commitLocked(l.writeSeq); err != nil {
+		return err
+	}
 	l.liveBytes -= int64(len(old.payload))
 	delete(l.live, id)
 	l.stats.Removes++
 	return l.maybeCompactLocked()
 }
 
-// writeRecord encodes and appends one record, honoring the sync policy.
+// writeRecord encodes and appends one record, advancing the write sequence.
+// It does NOT wait for durability — callers commit (or stage) explicitly.
 func (l *FileLog) writeRecord(kind byte, id uint64, payload []byte) error {
 	b := l.scratch[:0]
 	b = append(b, kind)
@@ -288,7 +336,7 @@ func (l *FileLog) writeRecord(kind byte, id uint64, payload []byte) error {
 	l.fileBytes += int64(len(b))
 	l.stats.BytesWritten += int64(len(b))
 	l.writeSeq++
-	return l.commitLocked(l.writeSeq)
+	return nil
 }
 
 // commitLocked blocks until write number seq is durable, via group commit:
@@ -326,7 +374,9 @@ func (l *FileLog) commitLocked(seq uint64) error {
 		target := l.writeSeq
 		f := l.f
 		l.mu.Unlock()
+		start := time.Now()
 		err := f.Sync()
+		d := time.Since(start)
 		l.mu.Lock()
 		l.syncing = false
 		if err != nil {
@@ -336,6 +386,8 @@ func (l *FileLog) commitLocked(seq uint64) error {
 				l.syncedSeq = target
 			}
 			l.stats.Syncs++
+			l.stats.SyncNanos += int64(d)
+			l.updateSyncEWMALocked(d)
 		}
 		l.synced.Broadcast()
 	}
@@ -465,8 +517,28 @@ func (l *FileLog) Len() int {
 	return len(l.live)
 }
 
-// Cost implements Log: a FileLog pays its flush cost in wall time.
-func (l *FileLog) Cost() time.Duration { return 0 }
+// updateSyncEWMALocked folds one measured fsync duration into the rolling
+// estimate Cost reports: first sample seeds it, later samples blend 1/8 new
+// against 7/8 history so a single slow flush (compaction landing, disk
+// hiccup) moves the estimate without whipsawing it.
+func (l *FileLog) updateSyncEWMALocked(d time.Duration) {
+	if l.syncEWMA == 0 {
+		l.syncEWMA = d
+		return
+	}
+	l.syncEWMA = (l.syncEWMA*7 + d) / 8
+}
+
+// Cost implements Log: a FileLog pays its flush cost in wall time inside
+// Append, but reports a rolling estimate of that cost — an EWMA over its
+// own group-commit fsync durations — so schedulers and stats lines can see
+// what a flush actually costs on this disk. Zero until the first fsync
+// completes (and always zero under NoSync).
+func (l *FileLog) Cost() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncEWMA
+}
 
 // Stats implements Log.
 func (l *FileLog) Stats() Stats {
@@ -491,9 +563,12 @@ func (l *FileLog) Close() error {
 	}
 	var err error
 	if l.syncedSeq < l.writeSeq && !l.opts.NoSync && l.syncErr == nil {
-		if err = l.f.Sync(); err == nil {
+		start := time.Now()
+		err = l.f.Sync()
+		if err == nil {
 			l.syncedSeq = l.writeSeq
 			l.stats.Syncs++
+			l.stats.SyncNanos += int64(time.Since(start))
 		} else {
 			l.syncErr = &PoisonedError{Cause: err}
 		}

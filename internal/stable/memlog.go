@@ -23,9 +23,12 @@ type MemLog struct {
 	// failNext, when positive, makes the next Append fail (failure
 	// injection for tests).
 	failNext int
+	// staged is set by AppendNoSync and cleared by Commit, so the modeled
+	// sync counter reflects one flush per staged run, like a real log.
+	staged bool
 }
 
-var _ Log = (*MemLog)(nil)
+var _ BatchLog = (*MemLog)(nil)
 
 // NewMemLog returns an empty in-memory log.
 func NewMemLog(opts Options) *MemLog {
@@ -69,7 +72,37 @@ func (l *MemLog) Append(rec []byte) (uint64, error) {
 	return id, nil
 }
 
-// Remove implements Log.
+// AppendNoSync implements BatchLog. MemLog has no real flush to defer, so
+// staging only changes the accounting: a run of staged appends is tallied
+// as the single modeled sync its Commit would have cost on a real log.
+func (l *MemLog) AppendNoSync(rec []byte) (uint64, error) {
+	id, err := l.Append(rec)
+	if err == nil && !l.opts.NoSync {
+		// Append charged one flush for this record; a staged record pays
+		// nothing until Commit charges the run's single flush.
+		l.mu.Lock()
+		l.stats.Syncs--
+		l.staged = true
+		l.mu.Unlock()
+	}
+	return id, err
+}
+
+// Commit implements BatchLog, charging one modeled flush for a staged run.
+func (l *MemLog) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.staged {
+		l.staged = false
+		if !l.opts.NoSync {
+			l.stats.Syncs++
+		}
+	}
+	return nil
+}
 func (l *MemLog) Remove(id uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

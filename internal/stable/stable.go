@@ -102,8 +102,11 @@ type Log interface {
 	Replay(fn func(id uint64, rec []byte) error) error
 	// Len returns the number of live records.
 	Len() int
-	// Cost returns the modeled flush latency charged per Append under
-	// virtual time. Real logs return 0: their cost is paid in wall time
+	// Cost returns the flush latency an Append is expected to pay. MemLog
+	// returns the configured modeled latency (charged under virtual time);
+	// FileLog returns a rolling estimate measured from its own group-commit
+	// fsyncs — zero until the first sync completes, so engines built on a
+	// freshly opened log still treat the flush as already paid in wall time
 	// inside Append itself.
 	Cost() time.Duration
 	// Stats returns operation counters.
@@ -112,11 +115,31 @@ type Log interface {
 	Close() error
 }
 
+// BatchLog is implemented by logs that can stage appends and amortize the
+// durability wait across a run of them: AppendNoSync writes and sequences a
+// record exactly like Append but returns without waiting for the flush;
+// Commit blocks until everything appended so far is durable. The contract
+// is pipelined group commit [Hagmann 87]: the caller may stage K records
+// back-to-back and pay ONE commit wait for all of them, but must not
+// release any effect that depends on a staged record before Commit returns
+// nil. A crash between AppendNoSync and Commit may lose the staged suffix
+// (it reads as a torn tail); durability is only promised at Commit.
+type BatchLog interface {
+	Log
+	// AppendNoSync stores rec with Append's sequencing but without waiting
+	// for durability. On a poisoned log it fails immediately.
+	AppendNoSync(rec []byte) (uint64, error)
+	// Commit blocks until every record appended so far is durable, joining
+	// the in-flight group commit if one is running.
+	Commit() error
+}
+
 // Stats counts log activity.
 type Stats struct {
 	Appends      int64
 	Removes      int64
 	Syncs        int64 // fsync (or modeled flush) operations
+	SyncNanos    int64 // total wall time spent inside fsync (FileLog only)
 	BytesWritten int64 // bytes written to the backing store, post-compression
 	BytesLogical int64 // bytes of record payload before compression
 	Compactions  int64

@@ -235,8 +235,8 @@ func (t *TCPClient) loop() {
 			fails++
 			continue
 		}
-		fails = 0
 		sender := &tcpSender{conn: conn}
+		busyBefore := t.client.Stats().BusyReceived
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -264,6 +264,23 @@ func (t *TCPClient) loop() {
 		t.conn = nil
 		t.sender = nil
 		t.mu.Unlock()
+		if t.client.Stats().BusyReceived > busyBefore {
+			// The server was reachable but refused our Hello (admission
+			// control past its session high-water mark). Redialing at once
+			// would tight-loop Hello/Busy against an overloaded server, so
+			// a refusal pays the same growing backoff as a failed dial.
+			// Rotation to a backup address already happened via the
+			// engine's OnBusy hook — but that rotation also queued a wake,
+			// which must not cut this backoff short.
+			select {
+			case <-t.wake:
+			default:
+			}
+			t.sleep(t.policy.JitteredBackoff(fails, rng))
+			fails++
+		} else {
+			fails = 0
+		}
 	}
 }
 

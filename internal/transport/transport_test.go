@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -439,5 +440,63 @@ func TestMailEmptyFlush(t *testing.T) {
 	}
 	if spool.Stats().Envelopes != 0 {
 		t.Error("spool not empty")
+	}
+}
+
+func TestTCPBusyRefusalBacksOff(t *testing.T) {
+	// A server past its admission high-water mark answers a stranger's
+	// Hello with a busy frame; the engine's OnBusy hook rotates the
+	// transport, which severs the connection and unwinds the read loop
+	// into a fresh dial. That dial SUCCEEDS (the server is up), so
+	// without a backoff on the refusal path the client would tight-loop
+	// dial/Hello/Busy against an already-overloaded server.
+	s := qrpc.NewServer(qrpc.ServerConfig{ServerID: "srv", MaxSessions: 1})
+	srv, err := ListenTCP("127.0.0.1:0", s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	occ, err := qrpc.NewClient(qrpc.ClientConfig{ClientID: "occupant", Log: stable.NewMemLog(stable.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occCli := DialTCP(srv.Addr(), occ, nil, TCPClientOptions{})
+	defer occCli.Close()
+	waitUntil(t, 5*time.Second, "occupant admitted", func() bool { return s.SessionCount() == 1 })
+
+	var rotate atomic.Pointer[TCPClient]
+	stranger, err := qrpc.NewClient(qrpc.ClientConfig{
+		ClientID: "stranger",
+		Log:      stable.NewMemLog(stable.Options{}),
+		OnBusy: func() {
+			if c := rotate.Load(); c != nil {
+				c.Rotate()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := DialTCP(srv.Addr(), stranger, nil, TCPClientOptions{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+	})
+	defer cli.Close()
+	rotate.Store(cli)
+
+	waitUntil(t, 5*time.Second, "first busy refusal", func() bool {
+		return stranger.Stats().BusyReceived >= 1
+	})
+	before := cli.DialAttempts()
+	time.Sleep(500 * time.Millisecond)
+	delta := cli.DialAttempts() - before
+	// 500ms of 10ms→50ms growing backoff allows at most a few dozen
+	// redials; the pre-backoff tight loop managed thousands per second.
+	if delta > 50 {
+		t.Fatalf("%d redials in 500ms after busy refusal; refusals must back off", delta)
+	}
+	if s.SessionCount() != 1 {
+		t.Fatalf("stranger was admitted; sessions = %d", s.SessionCount())
 	}
 }

@@ -38,6 +38,7 @@ const (
 	FrameBatch      byte = 9  // multiple coalesced frames in one transport frame (see batch.go)
 	FrameAuthReject byte = 10 // server -> client authentication failure
 	FrameBatchZ     byte = 11 // deflate-compressed FrameBatch (see batchz.go); negotiated
+	FrameBusy       byte = 12 // server -> client: admission refused (session high-water mark); retry elsewhere/later
 )
 
 // frame header constants.
@@ -199,6 +200,8 @@ func FrameTypeName(t byte) string {
 		return "auth-reject"
 	case FrameBatchZ:
 		return "batch-z"
+	case FrameBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("unknown(%d)", t)
 	}

@@ -37,7 +37,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -248,6 +251,11 @@ func NewClient(opts ClientOptions) (*Client, error) {
 				opts.OnStatus(c.am.Status())
 			}
 		},
+		// A server past its admission high-water mark refuses our Hello
+		// with FrameBusy; rotate to a backup of the address list, exactly
+		// like a hard shed. Single-address transports ignore the rotate and
+		// retry on the reconnect backoff.
+		OnBusy: func() { c.failover() },
 	})
 	if err != nil {
 		return nil, err
@@ -475,18 +483,46 @@ type ServerOptions struct {
 	// state). The journal is compacted in the background and closed by
 	// Server.Close.
 	JournalPath string
-	// JournalCompactEvery overrides the journal compaction threshold
-	// (records appended since the last snapshot); zero means the default.
+	// JournalShards shards the session journal across this many independent
+	// files — JournalPath itself plus "<JournalPath>.s1" through
+	// ".s<N-1>" — keyed by session hash, so each shard runs its own
+	// group-commit fsync leader and up to N fsyncs overlap instead of every
+	// worker convoying behind one. Zero or one selects the single-file
+	// journal. The count may grow between restarts (recovery reshards
+	// sessions into their new home files, durably, before serving) but must
+	// never shrink: NewServer fails if shard files beyond the configured
+	// count exist on disk, because their records would be silently unread.
+	// Ignored unless JournalPath is set.
+	JournalShards int
+	// JournalCompactEvery overrides the journal compaction threshold per
+	// shard (records appended since the shard's last snapshot); zero means
+	// the default.
 	JournalCompactEvery int
+	// MaxSessions, when positive, is the admission high-water mark: Hellos
+	// from clients the server has no session for are refused with a busy
+	// frame once this many sessions exist (established sessions always
+	// re-admit). Clients built by this package react by rotating to their
+	// next backup address. Size it with headroom — a refused client retries
+	// elsewhere or later, it does not queue here.
+	MaxSessions int
+	// SessionBudgetBytes, when positive, bounds the approximate bytes of
+	// unacknowledged reply payloads one session may hold; at the budget,
+	// new requests from that session are dropped (clients redeliver later)
+	// until acks release cached replies. Backpressure, never loss.
+	SessionBudgetBytes int
+	// ReplyCacheBytes sizes the server-global cache of encoded replies
+	// (zero = default 8 MiB, negative = disabled). See
+	// qrpc.ServerConfig.ReplyCacheBytes.
+	ReplyCacheBytes int
 }
 
 // Server is a Rover home server: QRPC engine + object store + conflict
 // pipeline.
 type Server struct {
-	engine  *qrpc.Server
-	srv     *server.Server
-	journal stable.Log // nil unless JournalPath is set
-	opts    ServerOptions
+	engine   *qrpc.Server
+	srv      *server.Server
+	journals []stable.Log // empty unless JournalPath is set; one per shard
+	opts     ServerOptions
 
 	replMu  sync.Mutex
 	rep     *repl.Replicator
@@ -516,35 +552,39 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if workers < 0 {
 		workers = 0 // inline execution
 	}
-	var journal stable.Log
+	var journals []stable.Log
 	if opts.JournalPath != "" {
-		jl, err := stable.OpenFileLog(opts.JournalPath, stable.Options{})
+		var err error
+		journals, err = openJournalShards(opts.JournalPath, opts.JournalShards)
 		if err != nil {
-			return nil, fmt.Errorf("rover: session journal: %w", err)
+			return nil, err
 		}
-		journal = jl
+	}
+	closeJournals := func() {
+		for _, jl := range journals {
+			jl.Close()
+		}
 	}
 	engine := qrpc.NewServer(qrpc.ServerConfig{
 		ServerID:            opts.ServerID,
 		Auth:                reg,
 		Workers:             workers,
-		Journal:             journal,
+		Journals:            journals,
 		JournalCompactEvery: opts.JournalCompactEvery,
+		MaxSessions:         opts.MaxSessions,
+		SessionBudgetBytes:  opts.SessionBudgetBytes,
+		ReplyCacheBytes:     opts.ReplyCacheBytes,
 	})
 	if err := engine.JournalError(); err != nil {
-		if journal != nil {
-			journal.Close()
-		}
+		closeJournals()
 		return nil, err
 	}
 	srv, err := server.New(server.Config{Engine: engine, InvokeBudget: opts.InvokeBudget})
 	if err != nil {
-		if journal != nil {
-			journal.Close()
-		}
+		closeJournals()
 		return nil, err
 	}
-	s := &Server{engine: engine, srv: srv, journal: journal, opts: opts}
+	s := &Server{engine: engine, srv: srv, journals: journals, opts: opts}
 	if opts.SnapshotPath != "" {
 		if err := srv.Store().Load(opts.SnapshotPath); err == nil {
 			// loaded existing snapshot
@@ -553,8 +593,67 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	return s, nil
 }
 
+// openJournalShards opens the session journal's shard files: path itself is
+// shard 0, "path.s1" … "path.s<n-1>" the rest. It refuses to open fewer
+// shards than exist on disk — a shard-count decrease would leave the
+// higher-index files' records silently unread, losing exactly-once state.
+func openJournalShards(path string, n int) ([]stable.Log, error) {
+	if n <= 0 {
+		n = 1
+	}
+	matches, _ := filepath.Glob(path + ".s*")
+	for _, m := range matches {
+		k, err := strconv.Atoi(strings.TrimPrefix(m, path+".s"))
+		if err != nil {
+			continue // not a shard file of ours (e.g. path.s1.compact mid-crash)
+		}
+		if k >= n {
+			return nil, fmt.Errorf("rover: journal shard file %s exists but only %d shard(s) configured; shard counts may grow, never shrink", m, n)
+		}
+	}
+	logs := make([]stable.Log, 0, n)
+	for i := 0; i < n; i++ {
+		p := path
+		if i > 0 {
+			p = fmt.Sprintf("%s.s%d", path, i)
+		}
+		fl, err := stable.OpenFileLog(p, stable.Options{})
+		if err != nil {
+			for _, l := range logs {
+				l.Close()
+			}
+			return nil, fmt.Errorf("rover: session journal shard %d: %w", i, err)
+		}
+		logs = append(logs, fl)
+	}
+	return logs, nil
+}
+
 // Engine exposes the QRPC server engine (transport attachment).
 func (s *Server) Engine() *qrpc.Server { return s.engine }
+
+// JournalStats returns one stable-log counter snapshot per journal shard
+// (empty when no journal is configured). Stats lines derive fsyncs/op and
+// measured fsync latency from these.
+func (s *Server) JournalStats() []stable.Stats {
+	out := make([]stable.Stats, len(s.journals))
+	for i, jl := range s.journals {
+		out[i] = jl.Stats()
+	}
+	return out
+}
+
+// JournalCost reports the slowest per-shard measured fsync latency estimate
+// (zero without a journal or before the first sync).
+func (s *Server) JournalCost() time.Duration {
+	var worst time.Duration
+	for _, jl := range s.journals {
+		if c := jl.Cost(); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
 
 // Store exposes the object store.
 func (s *Server) Store() *store.Store { return s.srv.Store() }
@@ -592,8 +691,8 @@ func (s *Server) Close() error {
 	if replLog != nil {
 		replLog.Close()
 	}
-	if s.journal != nil {
-		if jerr := s.journal.Close(); err == nil {
+	for _, jl := range s.journals {
+		if jerr := jl.Close(); err == nil {
 			err = jerr
 		}
 	}
