@@ -19,7 +19,11 @@
 // cycles over a real file-backed log, including torn-tail writes),
 // `crash-server` (server crash/rebuild cycles over a file-backed session
 // journal with dirty appends and torn tails — exactly-once must hold with
-// the SERVER dying, not just the client), and `crash-primary` (a
+// the SERVER dying, not just the client; with -store-dir the incarnations
+// also run the disk-backed object store, and the scenario additionally
+// asserts zero lost committed objects, history-backed redelivery detection
+// across restarts, and a clean store directory after every recovery), and
+// `crash-primary` (a
 // replicated home pair losing its primary to total-loss crashes: the
 // client fails over to the survivor, the rebuilt replica catches up by
 // anti-entropy, and both stores must converge byte-identically with no
@@ -62,6 +66,7 @@ var (
 	verbose      = flag.Bool("v", false, "print per-schedule stats")
 	compress     = flag.Bool("compress", false, "clients advertise the compressed-batch capability (exercises the fault schedules over compressed frames)")
 	journShards  = flag.Int("journal-shards", 1, "crash-server: session journal shard count (torn tails and dirty appends land on random shards)")
+	useStoreDir  = flag.Bool("store-dir", false, "crash-server: run the disk-backed object store variant (booking workload; segment torn tails, compaction, recovery)")
 )
 
 // flagScenarios maps each scenario-specific flag to the scenarios that
@@ -70,6 +75,37 @@ var (
 var flagScenarios = map[string][]string{
 	"compress":       {"sim", "pipe", "mail", "crash", "crash-server"},
 	"journal-shards": {"crash-server"},
+	"store-dir":      {"crash-server"},
+}
+
+// Temp-dir registry: every scenario allocates its scratch space through
+// tempDir so ALL exit paths — normal completion, a violation's os.Exit, a
+// panicking schedule — remove it. Before this registry a violation exit
+// relied on each scenario's own defers having run, and a panic between
+// MkdirTemp and the defer leaked journal and store segments into /tmp.
+var (
+	tmpMu   sync.Mutex
+	tmpDirs []string
+)
+
+func tempDir(pattern string) (string, error) {
+	dir, err := os.MkdirTemp("", pattern)
+	if err != nil {
+		return "", err
+	}
+	tmpMu.Lock()
+	tmpDirs = append(tmpDirs, dir)
+	tmpMu.Unlock()
+	return dir, nil
+}
+
+func cleanupTempDirs() {
+	tmpMu.Lock()
+	defer tmpMu.Unlock()
+	for _, d := range tmpDirs {
+		os.RemoveAll(d)
+	}
+	tmpDirs = nil
 }
 
 // warnIgnoredFlags prints a stderr warning for every explicitly-set
@@ -139,10 +175,14 @@ func main() {
 			if err := r.run(s, *verbose); err != nil {
 				extra := ""
 				if *journShards > 1 {
-					extra = fmt.Sprintf(" -journal-shards=%d", *journShards)
+					extra += fmt.Sprintf(" -journal-shards=%d", *journShards)
+				}
+				if *useStoreDir {
+					extra += " -store-dir"
 				}
 				fmt.Fprintf(os.Stderr, "VIOLATION scenario=%s seed=%d: %v\n", r.name, s, err)
 				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -scenario=%s%s -v\n", s, r.name, extra)
+				cleanupTempDirs()
 				os.Exit(1)
 			}
 		}
@@ -150,6 +190,7 @@ func main() {
 			fmt.Printf("schedule %d ok (seed %d)\n", i, s)
 		}
 	}
+	cleanupTempDirs()
 	fmt.Printf("rover-chaos: %d schedules x %d scenarios, zero violations (%.1fs)\n",
 		*schedules, len(picked), time.Since(start).Seconds())
 }
@@ -510,7 +551,7 @@ func runMail(seed int64, verbose bool) error {
 
 func runCrash(seed int64, verbose bool) error {
 	rng := rand.New(rand.NewSource(seed))
-	dir, err := os.MkdirTemp("", "rover-chaos")
+	dir, err := tempDir("rover-chaos")
 	if err != nil {
 		return err
 	}
@@ -667,8 +708,15 @@ func runCrash(seed int64, verbose bool) error {
 // failure" escape hatch where a legitimate re-execution would be allowed.
 
 func runCrashServer(seed int64, verbose bool) error {
+	if *useStoreDir {
+		return runCrashServerStore(seed, verbose)
+	}
+	return runCrashServerJournal(seed, verbose)
+}
+
+func runCrashServerJournal(seed int64, verbose bool) error {
 	rng := rand.New(rand.NewSource(seed))
-	dir, err := os.MkdirTemp("", "rover-chaos-jsrv")
+	dir, err := tempDir("rover-chaos-jsrv")
 	if err != nil {
 		return err
 	}
@@ -865,6 +913,229 @@ func runCrashServer(seed int64, verbose bool) error {
 	if verbose {
 		fmt.Printf("  crash-server: %d requests, %d incarnations, %d compactions, %d live records across %d shards\n",
 			len(accepted), incarnations, compactions, liveRecords, shards)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// crash-server -store-dir: the same server-dies-repeatedly discipline, but
+// the incarnations run the DISK-BACKED object store under a booking
+// workload. Every committed booking is durable in the store segment before
+// the client sees its reply, so across crash/rebuild cycles — including
+// torn trailing writes on the segment and on journal shards — the scenario
+// asserts: zero lost committed objects (every acknowledged booking is in
+// the recovered store), at-most-once intact (zero conflicts — a
+// doubly-applied booking errors "taken"), segment compaction actually ran,
+// and recovery leaves the store directory holding exactly the live segment
+// (an orphaned file is a violation and exits nonzero).
+
+func dsObject() *rover.Object {
+	obj := rover.NewObject(rover.MustParseURN("urn:rover:home/slots"), "slots")
+	obj.Code = `
+		proc book {slot who} {
+			if {[state exists $slot]} { error "taken" }
+			state set $slot $who
+		}
+	`
+	return obj
+}
+
+func runCrashServerStore(seed int64, verbose bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	dir, err := tempDir("rover-chaos-dstore")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sdir := filepath.Join(dir, "store")
+	jpath := filepath.Join(dir, "journal")
+	u := rover.MustParseURN("urn:rover:home/slots")
+	shards := *journShards
+	if shards < 1 {
+		shards = 1
+	}
+
+	var conflictMu sync.Mutex
+	conflicts := 0
+	cli, err := rover.NewClient(rover.ClientOptions{
+		ClientID: "chaos-dstore",
+		OnConflict: func(rover.URN, string) {
+			conflictMu.Lock()
+			conflicts++
+			conflictMu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	cli.Engine().SetCompression(*compress)
+
+	var (
+		srv          *rover.Server
+		pipe         *transport.Pipe
+		incarnations int
+		compactions  int64
+	)
+	// boot builds the next server incarnation over the SAME store and
+	// journal directories, then audits the recovered store directory: after
+	// Open's crash-leftover cleanup it must hold exactly the live segment.
+	boot := func() error {
+		s, err := rover.NewServer(rover.ServerOptions{
+			ServerID:          "chaos-home",
+			StoreDir:          sdir,
+			StoreCacheBytes:   1 << 12, // tiny cache: most reads fault in from the segment
+			StoreCompactEvery: 8,
+			JournalPath:       jpath,
+			JournalShards:     shards,
+		})
+		if err != nil {
+			return fmt.Errorf("incarnation %d boot: %w", incarnations, err)
+		}
+		ents, derr := os.ReadDir(sdir)
+		if derr != nil {
+			s.Close()
+			return derr
+		}
+		for _, e := range ents {
+			if e.Name() != "store.seg" {
+				s.Close()
+				return fmt.Errorf("incarnation %d: orphaned file %q in store dir after recovery", incarnations, e.Name())
+			}
+		}
+		if incarnations == 0 {
+			if err := s.Seed(dsObject()); err != nil {
+				s.Close()
+				return err
+			}
+		}
+		srv = s
+		pipe = cli.ConnectPipe(s)
+		pipe.SetConnected(true)
+		incarnations++
+		return nil
+	}
+	// crash kills the incarnation and optionally injects torn trailing
+	// writes — a partial record on the store segment, a cut-short record on
+	// a random journal shard — before the next boot recovers both.
+	crash := func(tornStore, tornJournal bool) error {
+		pipe.SetConnected(false)
+		pipe.Close()
+		compactions += srv.StoreStats().Compactions
+		srv.Close()
+		if tornStore {
+			seg := filepath.Join(sdir, "store.seg")
+			if data, err := os.ReadFile(seg); err == nil && len(data) >= 8 {
+				if f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0); err == nil {
+					f.Write(data[:3]) // prefix of a record, cut short
+					f.Close()
+				}
+			}
+		}
+		if tornJournal {
+			victim := jpath
+			if k := rng.Intn(shards); k > 0 {
+				victim = fmt.Sprintf("%s.s%d", jpath, k)
+			}
+			if data, err := os.ReadFile(victim); err == nil && len(data) >= 8 {
+				if f, err := os.OpenFile(victim, os.O_APPEND|os.O_WRONLY, 0); err == nil {
+					f.Write(data[:3])
+					f.Close()
+				}
+			}
+		}
+		// A crash mid-compaction leaves a half-written rewrite beside the
+		// segment; recovery must discard it, never adopt it.
+		if rng.Float64() < 0.5 {
+			os.WriteFile(filepath.Join(sdir, "store.seg.compact"), []byte("half-written rewrite"), 0o600)
+		}
+		return boot()
+	}
+	if err := boot(); err != nil {
+		return err
+	}
+
+	ictx, icancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_, ierr := cli.Import(u, rover.ImportOptions{}).Wait(ictx)
+	icancel()
+	if ierr != nil {
+		return fmt.Errorf("import: %w", ierr)
+	}
+
+	crasher := faults.NewCrasher(seed^0x77, 0.12, 2)
+	var booked []string
+	const cycles = 5 // ≥ 4 crash/rebuild cycles (the acceptance floor) plus slack
+	for c := 0; c < cycles; c++ {
+		for j := 0; j < 6; j++ {
+			slot := fmt.Sprintf("c%d-s%d", c, j)
+			if _, err := cli.Invoke(u, "book", slot, "mobile"); err != nil {
+				return fmt.Errorf("invoke %s: %w", slot, err)
+			}
+			booked = append(booked, slot)
+			pipe.Kick()
+			if crasher.Strike() {
+				if err := crash(rng.Float64() < 0.5, rng.Float64() < 0.5); err != nil {
+					return err
+				}
+			}
+		}
+		// Let exports land mid-flight, then the cycle's guaranteed crash.
+		time.Sleep(time.Duration(rng.Intn(6)+2) * time.Millisecond)
+		if err := crash(rng.Float64() < 0.5, rng.Float64() < 0.5); err != nil {
+			return err
+		}
+		// Drain: flap the link until the client holds no tentative state.
+		deadline := time.Now().Add(20 * time.Second)
+		for flaps := 0; ; flaps++ {
+			st := cli.Status()
+			if !cli.Tentative(u) && st.Queued == 0 && st.AwaitingReply == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cycle %d: client never drained: %+v", c, st)
+			}
+			if flaps%20 == 19 {
+				pipe.SetConnected(false)
+				pipe.SetConnected(true)
+			}
+			pipe.Kick()
+			time.Sleep(time.Millisecond)
+		}
+		// Quiesce invariants: every booking committed exactly once, in the
+		// store that has by now survived multiple rebuilds.
+		got, err := srv.Store().Get(u)
+		if err != nil {
+			return fmt.Errorf("cycle %d: %w", c, err)
+		}
+		if len(got.State) != len(booked) {
+			return fmt.Errorf("cycle %d: store has %d bookings, want %d", c, len(got.State), len(booked))
+		}
+		for _, s := range booked {
+			if v, ok := got.Get(s); !ok || v != "mobile" {
+				return fmt.Errorf("cycle %d: committed booking %s lost or wrong (%q) across %d incarnations", c, s, v, incarnations)
+			}
+		}
+		conflictMu.Lock()
+		nc := conflicts
+		conflictMu.Unlock()
+		if nc != 0 {
+			return fmt.Errorf("cycle %d: %d conflicts — an accepted booking was applied twice", c, nc)
+		}
+	}
+	compactions += srv.StoreStats().Compactions
+	if compactions == 0 {
+		return fmt.Errorf("store segment never compacted across %d incarnations (%d mutations)", incarnations, len(booked))
+	}
+	if incarnations < 5 {
+		return fmt.Errorf("only %d incarnations; the schedule must rebuild the server at least 5 times", incarnations)
+	}
+	pipe.Close()
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("final close: %w", err)
+	}
+	if verbose {
+		fmt.Printf("  crash-server/store: %d bookings, %d incarnations, %d compactions, %d journal shards, 0 conflicts\n",
+			len(booked), incarnations, compactions, shards)
 	}
 	return nil
 }

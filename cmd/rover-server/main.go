@@ -35,7 +35,10 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
 		httpAddr     = flag.String("http", "", "also serve a read-only HTTP gateway (e.g. 127.0.0.1:8080)")
 		serverID     = flag.String("id", "rover-server", "server identity")
-		snapshot     = flag.String("snapshot", "", "object store snapshot path (load at start, save on exit)")
+		snapshot     = flag.String("snapshot", "", "object store snapshot path (load at start, save on exit); exclusive with -store-dir")
+		storeDir     = flag.String("store-dir", "", "disk-backed object store directory (segment log + LRU; durable per commit, recovers at start)")
+		storeCache   = flag.Int64("store-cache", 0, "disk store hot-object cache bytes (0 = default 64 MiB)")
+		storeCompact = flag.Int("store-compact-every", 0, "disk store mutations between compaction checks (0 = default)")
 		journal      = flag.String("journal", "", "session journal path (exactly-once across server restarts)")
 		journShards  = flag.Int("journal-shards", 1, "session journal shard count (parallel group-commit fsync; may grow across restarts, never shrink)")
 		maxSessions  = flag.Int("max-sessions", 0, "admission high-water mark: refuse NEW sessions past this many (0 = unlimited)")
@@ -54,6 +57,9 @@ func main() {
 	srv, err := rover.NewServer(rover.ServerOptions{
 		ServerID:           *serverID,
 		SnapshotPath:       *snapshot,
+		StoreDir:           *storeDir,
+		StoreCacheBytes:    *storeCache,
+		StoreCompactEvery:  *storeCompact,
 		JournalPath:        *journal,
 		JournalShards:      *journShards,
 		MaxSessions:        *maxSessions,
@@ -69,7 +75,12 @@ func main() {
 		log.Printf("rover-server: session journal %s ×%d shards (%d sessions, %d replies recovered, %d resharded)",
 			*journal, max(*journShards, 1), st.RecoveredSessions, st.RecoveredReplies, st.JournalReshards)
 	}
-	if err := seedDemo(srv, *seed); err != nil {
+	// A store recovered from -store-dir or -snapshot already holds its
+	// objects (including any prior seed); re-seeding would either collide
+	// or clobber real state, so the recovered population wins.
+	if n := srv.Store().Len(); n > 0 && *seed != "" {
+		log.Printf("rover-server: store recovered %d objects; skipping -seed %s", n, *seed)
+	} else if err := seedDemo(srv, *seed); err != nil {
 		log.Fatalf("rover-server: seeding: %v", err)
 	}
 	// Replication is enabled before the listener so the peer's records can
@@ -164,6 +175,10 @@ func logStats(srv *rover.Server) {
 		line += fmt.Sprintf(" | journal: fsyncs=%d fsyncs/op=%.3f fsyncCost=%s depths=%v",
 			syncs, fsyncsPerOp, srv.JournalCost().Round(time.Microsecond), srv.Engine().JournalShardDepths())
 	}
+	occ := srv.StoreStats()
+	line += fmt.Sprintf(" | store: objects=%d resident=%d/%s hits=%d coldFaults=%d compactions=%d segBytes=%d",
+		occ.Objects, occ.ResidentObjects, humanBytes(occ.ResidentBytes),
+		occ.CacheHits, occ.ColdFaults, occ.Compactions, occ.SegmentBytes)
 	if rep := srv.Replicator(); rep != nil {
 		rs := rep.Stats()
 		line += fmt.Sprintf(
@@ -172,6 +187,18 @@ func logStats(srv *rover.Server) {
 			rs.FullSyncs, rs.DigestSweeps, rs.ExecInstalled, rs.Errors)
 	}
 	log.Print("rover-server: " + line)
+}
+
+// humanBytes renders a byte count in the largest whole unit.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // seedDemo provisions demonstration content for the three applications.

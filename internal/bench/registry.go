@@ -40,6 +40,7 @@ func init() {
 	register(18, "FMOSAIC", "extension: browsing over queued e-mail", ExpFMosaic)
 	register(19, "ABWIRE", "bandwidth layer: compression + delta re-import", ExpABWire)
 	register(20, "C100K", "connection-scale soak: sharded journal group commit", ExpC100K)
+	register(21, "ASCALE", "disk store at 1M RDOs: bounded RSS + cold-get latency", ExpAScale)
 }
 
 // Lookup returns an experiment by ID.

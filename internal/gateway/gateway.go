@@ -39,14 +39,14 @@ type Peer struct {
 //	/                          index of all objects
 //	/obj/urn:rover:<a>/<p>     text dump of one object
 //	/web/<path>                webpage-typed RDO rendered as HTML
-func Handler(st *store.Store, webAuthority string) httpmini.Handler {
+func Handler(st store.Backend, webAuthority string) httpmini.Handler {
 	return HandlerWithPeer(st, webAuthority, Peer{})
 }
 
 // HandlerWithPeer is Handler plus the replica routing entry: /replica
 // redirects to the peer gateway, and when peer.Serving reports false every
 // path redirects there (302, preserving the path).
-func HandlerWithPeer(st *store.Store, webAuthority string, peer Peer) httpmini.Handler {
+func HandlerWithPeer(st store.Backend, webAuthority string, peer Peer) httpmini.Handler {
 	return func(req httpmini.Request) httpmini.Response {
 		if req.Path == "/replica" {
 			if peer.URL == "" {
@@ -78,7 +78,7 @@ func redirect(base, path string) httpmini.Response {
 		Body: []byte("see " + loc + "\n")}
 }
 
-func index(st *store.Store) httpmini.Response {
+func index(st store.Backend) httpmini.Response {
 	var sb strings.Builder
 	sb.WriteString("<html><head><title>Rover object store</title></head><body>\n")
 	sb.WriteString("<h1>Rover object store</h1>\n<table border=1>\n")
@@ -98,7 +98,7 @@ func index(st *store.Store) httpmini.Response {
 	return httpmini.Response{Status: 200, Body: []byte(sb.String())}
 }
 
-func object(st *store.Store, urnStr string) httpmini.Response {
+func object(st store.Backend, urnStr string) httpmini.Response {
 	u, err := urn.Parse(urnStr)
 	if err != nil {
 		return httpmini.Response{Status: 400, ContentType: "text/plain",
@@ -125,7 +125,7 @@ func object(st *store.Store, urnStr string) httpmini.Response {
 	return httpmini.Response{Status: 200, ContentType: "text/plain", Body: []byte(sb.String())}
 }
 
-func webpage(st *store.Store, authority, path string) httpmini.Response {
+func webpage(st store.Backend, authority, path string) httpmini.Response {
 	obj, err := st.Get(rdoPageURN(authority, path))
 	if err != nil {
 		return httpmini.Response{Status: 404, ContentType: "text/plain", Body: []byte("no such page\n")}

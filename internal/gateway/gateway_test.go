@@ -13,7 +13,7 @@ import (
 	"rover/internal/urn"
 )
 
-func testStore(t *testing.T) *store.Store {
+func testStore(t *testing.T) store.Backend {
 	t.Helper()
 	st := store.New()
 	obj := rdo.New(urn.MustParse("urn:rover:demo/notes"), "notes")
@@ -32,7 +32,7 @@ func testStore(t *testing.T) *store.Store {
 	return st
 }
 
-func serve(t *testing.T, st *store.Store) string {
+func serve(t *testing.T, st store.Backend) string {
 	t.Helper()
 	srv, err := httpmini.Serve("127.0.0.1:0", Handler(st, "demo"))
 	if err != nil {

@@ -36,7 +36,7 @@ type Config struct {
 	// Engine is the QRPC server engine to register services on. Required.
 	Engine *qrpc.Server
 	// Store holds the objects; a fresh one is created when nil.
-	Store *store.Store
+	Store store.Backend
 	// Resolvers maps object types to conflict resolvers; a Replay-fallback
 	// registry is created when nil.
 	Resolvers *resolve.Registry
@@ -48,7 +48,7 @@ type Config struct {
 // Server is a Rover object server.
 type Server struct {
 	engine    *qrpc.Server
-	store     *store.Store
+	store     store.Backend
 	resolvers *resolve.Registry
 	budget    int64
 
@@ -182,7 +182,7 @@ func (s *Server) Locks() map[urn.URN]string {
 }
 
 // Store exposes the object store (server administration, tests, seeding).
-func (s *Server) Store() *store.Store { return s.store }
+func (s *Server) Store() store.Backend { return s.store }
 
 // Resolvers exposes the resolver registry for app-type registration.
 func (s *Server) Resolvers() *resolve.Registry { return s.resolvers }

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"rover/internal/rdo"
+	"rover/internal/urn"
+)
+
+// OpsRec is one per-object history entry: the invocations that produced
+// version Ver, tagged with the client that exported them (Src, empty when
+// untagged) so a redelivered export can be recognized as already committed.
+// It is exported so Backend implementations outside this package can persist
+// and restore history windows (the disk backend writes them into its
+// compaction snapshot records).
+type OpsRec struct {
+	Ver  uint64
+	Invs []rdo.Invocation
+	Src  string
+}
+
+// History is the bounded per-object invocation-history window every Backend
+// keeps — the raw material for delta imports (OpsSince) and for recognizing
+// redelivered exports (WasCommitted). Entry i of an object's window carries
+// the ops that advanced the object TO version window[i].Ver; only ops
+// commits record history, and an opaque state jump (plain Commit, install,
+// snapshot load) clears the object's window because a delta spanning it
+// cannot be represented.
+//
+// History is NOT safe for concurrent use: it is a building block that runs
+// under its owning backend's lock.
+type History struct {
+	limit int // 0 selects DefaultHistoryLimit; negative disables
+	m     map[urn.URN][]OpsRec
+}
+
+// NewHistory returns an empty history with the default limit.
+func NewHistory() *History {
+	return &History{m: make(map[urn.URN][]OpsRec)}
+}
+
+// SetLimit changes the retained window: 0 restores DefaultHistoryLimit, a
+// negative value disables history entirely and drops everything retained.
+// Shrinking prunes existing windows immediately.
+func (h *History) SetLimit(n int) {
+	h.limit = n
+	if n < 0 {
+		h.m = make(map[urn.URN][]OpsRec)
+		return
+	}
+	limit := h.effectiveLimit()
+	for u, w := range h.m {
+		if len(w) > limit {
+			h.m[u] = append([]OpsRec(nil), w[len(w)-limit:]...)
+		}
+	}
+}
+
+func (h *History) effectiveLimit() int {
+	if h.limit == 0 {
+		return DefaultHistoryLimit
+	}
+	return h.limit
+}
+
+// Disabled reports whether recording is turned off (negative limit).
+func (h *History) Disabled() bool { return h.limit < 0 }
+
+// Record appends the ops that produced version ver. The caller must treat a
+// false return as an opaque jump and is responsible for having cleared the
+// window (Record with disabled history or no invocations records nothing).
+func (h *History) Record(u urn.URN, ver uint64, invs []rdo.Invocation, src string) bool {
+	if h.limit < 0 || len(invs) == 0 {
+		return false
+	}
+	cp := make([]rdo.Invocation, len(invs))
+	copy(cp, invs)
+	w := append(h.m[u], OpsRec{Ver: ver, Invs: cp, Src: src})
+	if limit := h.effectiveLimit(); len(w) > limit {
+		w = append([]OpsRec(nil), w[len(w)-limit:]...)
+	}
+	h.m[u] = w
+	return true
+}
+
+// Clear drops one object's window (opaque jump, delete, re-create).
+func (h *History) Clear(u urn.URN) { delete(h.m, u) }
+
+// ClearAll drops every window (snapshot load).
+func (h *History) ClearAll() { h.m = make(map[urn.URN][]OpsRec) }
+
+// OpsSince returns the invocations that advance the object from version
+// `from` to version cur, oldest first, with ok=true only when the window is
+// contiguous over that whole span (see Store.OpsSince for the contract).
+func (h *History) OpsSince(u urn.URN, from, cur uint64) ([]rdo.Invocation, uint64, bool) {
+	if from >= cur {
+		return nil, 0, false
+	}
+	w := h.m[u]
+	start := -1
+	for i, rec := range w {
+		if rec.Ver == from+1 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, 0, false
+	}
+	want := from
+	var out []rdo.Invocation
+	for _, rec := range w[start:] {
+		if rec.Ver != want+1 {
+			return nil, 0, false
+		}
+		want = rec.Ver
+		out = append(out, rec.Invs...)
+	}
+	if want != cur {
+		return nil, 0, false
+	}
+	return out, cur, true
+}
+
+// WasCommitted reports whether the export (base, invs, src) is already
+// reflected in the window: src's identical invocations were committed at
+// version base+1 (see Store.WasCommitted for why this closes the
+// at-most-once window).
+func (h *History) WasCommitted(u urn.URN, base uint64, invs []rdo.Invocation, src string) bool {
+	if src == "" || len(invs) == 0 {
+		return false
+	}
+	for _, rec := range h.m[u] {
+		if rec.Ver != base+1 {
+			continue
+		}
+		if rec.Src != src || len(rec.Invs) != len(invs) {
+			return false
+		}
+		for i := range invs {
+			if !invEqual(&rec.Invs[i], &invs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Window returns the object's retained window, oldest first. The returned
+// slice aliases the history's own storage; callers must copy before
+// mutating or holding past the owning lock.
+func (h *History) Window(u urn.URN) []OpsRec { return h.m[u] }
+
+// Restore installs a previously persisted window verbatim (recovery path),
+// pruned to the current limit. It records nothing when history is disabled.
+func (h *History) Restore(u urn.URN, recs []OpsRec) {
+	if h.limit < 0 || len(recs) == 0 {
+		return
+	}
+	if limit := h.effectiveLimit(); len(recs) > limit {
+		recs = recs[len(recs)-limit:]
+	}
+	h.m[u] = append([]OpsRec(nil), recs...)
+}

@@ -32,38 +32,29 @@ var (
 // can be reconstructed as an operation delta.
 const DefaultHistoryLimit = 32
 
-// Store holds the committed objects of one server. All methods are safe
-// for concurrent use; returned objects are clones, so callers can mutate
-// freely.
+// Store is the in-memory Backend: a flat map holding every object resident.
+// It is the default implementation — simplest, fastest, and exactly the
+// paper's home-server model — while the disk backend (store/disk) trades
+// resident memory for capacity. All methods are safe for concurrent use;
+// returned objects are clones, so callers can mutate freely.
 type Store struct {
 	mu       sync.RWMutex
 	objs     map[urn.URN]*rdo.Object
 	repairs  []Conflict
 	modCount uint64
 
-	// history holds, per object, the invocations that produced recent
+	// hist holds, per object, the invocations that produced recent
 	// versions — the raw material for delta imports (ship the ops since
-	// the client's version instead of the whole object). Entry i of a
-	// history slice carries the ops that advanced the object TO version
-	// hist[i].ver. Only CommitOps records history; a plain Commit is an
-	// opaque state jump and clears the object's history, because a delta
-	// spanning it cannot be represented.
-	history      map[urn.URN][]opsRec
-	historyLimit int // 0 selects DefaultHistoryLimit; negative disables
+	// the client's version instead of the whole object). Only CommitOps
+	// records history; a plain Commit is an opaque state jump and clears
+	// the object's history, because a delta spanning it cannot be
+	// represented. Guarded by mu.
+	hist *History
 
 	// onApply, when set, observes every locally committed mutation (it is
 	// how a replica pair streams changes to its peer). The Install* family
 	// bypasses it: replicated mutations must not echo back to their origin.
 	onApply func(ApplyEvent)
-}
-
-// opsRec is one history entry: the invocations that produced version ver,
-// tagged with the client that exported them (src, empty when untagged) so
-// a redelivered export can be recognized as already committed.
-type opsRec struct {
-	ver  uint64
-	invs []rdo.Invocation
-	src  string
 }
 
 // ApplyKind discriminates the mutations an ApplyEvent can describe.
@@ -114,8 +105,8 @@ type Conflict struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		objs:    make(map[urn.URN]*rdo.Object),
-		history: make(map[urn.URN][]opsRec),
+		objs: make(map[urn.URN]*rdo.Object),
+		hist: NewHistory(),
 	}
 }
 
@@ -142,24 +133,7 @@ func (s *Store) notifyLocked(ev ApplyEvent) {
 func (s *Store) SetHistoryLimit(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.historyLimit = n
-	if n < 0 {
-		s.history = make(map[urn.URN][]opsRec)
-		return
-	}
-	limit := s.effectiveHistoryLimitLocked()
-	for u, h := range s.history {
-		if len(h) > limit {
-			s.history[u] = append([]opsRec(nil), h[len(h)-limit:]...)
-		}
-	}
-}
-
-func (s *Store) effectiveHistoryLimitLocked() int {
-	if s.historyLimit == 0 {
-		return DefaultHistoryLimit
-	}
-	return s.historyLimit
+	s.hist.SetLimit(n)
 }
 
 // Create inserts a new object at version 1. The object's Version field is
@@ -173,7 +147,7 @@ func (s *Store) Create(obj *rdo.Object) error {
 	cp := obj.Clone()
 	cp.Version = 1
 	s.objs[obj.URN] = cp
-	delete(s.history, obj.URN) // a re-created URN starts with no past
+	s.hist.Clear(obj.URN) // a re-created URN starts with no past
 	s.modCount++
 	s.notifyLocked(ApplyEvent{Kind: ApplyState, URN: cp.URN, Version: 1, Object: cp.Encode()})
 	return nil
@@ -223,7 +197,7 @@ func (s *Store) Commit(obj *rdo.Object, expect uint64) (uint64, error) {
 	// A plain Commit records no operations: this version is an opaque
 	// jump, and any delta spanning it would silently skip state. Drop the
 	// object's history so OpsSince refuses rather than lies.
-	delete(s.history, obj.URN)
+	s.hist.Clear(obj.URN)
 	s.modCount++
 	s.notifyLocked(ApplyEvent{Kind: ApplyState, URN: cp.URN,
 		PrevVersion: expect, Version: cp.Version, Object: cp.Encode()})
@@ -259,26 +233,20 @@ func (s *Store) commitOpsLocked(obj *rdo.Object, expect uint64, invs []rdo.Invoc
 	cp.Version = cur.Version + 1
 	s.objs[obj.URN] = cp
 	s.modCount++
-	if s.historyLimit < 0 || len(invs) == 0 {
+	if !s.hist.Record(obj.URN, cp.Version, invs, src) {
 		// History disabled, or a no-op commit (version advanced with no
 		// recorded operations): treat like a plain Commit.
-		delete(s.history, obj.URN)
+		s.hist.Clear(obj.URN)
 		if notify {
 			s.notifyLocked(ApplyEvent{Kind: ApplyState, URN: cp.URN,
 				PrevVersion: expect, Version: cp.Version, Object: cp.Encode()})
 		}
 		return cp.Version, nil
 	}
-	cpInvs := make([]rdo.Invocation, len(invs))
-	copy(cpInvs, invs)
-	h := append(s.history[obj.URN], opsRec{ver: cp.Version, invs: cpInvs, src: src})
-	if limit := s.effectiveHistoryLimitLocked(); len(h) > limit {
-		h = append([]opsRec(nil), h[len(h)-limit:]...)
-	}
-	s.history[obj.URN] = h
 	if notify {
+		w := s.hist.Window(obj.URN)
 		s.notifyLocked(ApplyEvent{Kind: ApplyOps, URN: cp.URN,
-			PrevVersion: expect, Version: cp.Version, Invs: cpInvs, Src: src, Object: cp.Encode()})
+			PrevVersion: expect, Version: cp.Version, Invs: w[len(w)-1].Invs, Src: src, Object: cp.Encode()})
 	}
 	return cp.Version, nil
 }
@@ -296,21 +264,7 @@ func (s *Store) WasCommitted(u urn.URN, base uint64, invs []rdo.Invocation, src 
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, rec := range s.history[u] {
-		if rec.ver != base+1 {
-			continue
-		}
-		if rec.src != src || len(rec.invs) != len(invs) {
-			return false
-		}
-		for i := range invs {
-			if !invEqual(&rec.invs[i], &invs[i]) {
-				return false
-			}
-		}
-		return true
-	}
-	return false
+	return s.hist.WasCommitted(u, base, invs, src)
 }
 
 func invEqual(a, b *rdo.Invocation) bool {
@@ -335,35 +289,10 @@ func (s *Store) OpsSince(u urn.URN, from uint64) ([]rdo.Invocation, uint64, bool
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cur, ok := s.objs[u]
-	if !ok || from >= cur.Version {
+	if !ok {
 		return nil, 0, false
 	}
-	h := s.history[u]
-	// Find the entry that produced version from+1; the span from there to
-	// the tail must be exactly from+1 .. cur.Version with no gaps.
-	start := -1
-	for i, rec := range h {
-		if rec.ver == from+1 {
-			start = i
-			break
-		}
-	}
-	if start < 0 {
-		return nil, 0, false
-	}
-	want := from
-	var out []rdo.Invocation
-	for _, rec := range h[start:] {
-		if rec.ver != want+1 {
-			return nil, 0, false
-		}
-		want = rec.ver
-		out = append(out, rec.invs...)
-	}
-	if want != cur.Version {
-		return nil, 0, false
-	}
-	return out, cur.Version, true
+	return s.hist.OpsSince(u, from, cur.Version)
 }
 
 // Delete removes an object.
@@ -376,7 +305,7 @@ func (s *Store) Delete(u urn.URN) error {
 	}
 	prev := cur.Version
 	delete(s.objs, u)
-	delete(s.history, u)
+	s.hist.Clear(u)
 	s.modCount++
 	s.notifyLocked(ApplyEvent{Kind: ApplyDelete, URN: u, PrevVersion: prev})
 	return nil
@@ -409,7 +338,7 @@ func (s *Store) InstallState(obj *rdo.Object) (uint64, error) {
 	}
 	cp := obj.Clone()
 	s.objs[cp.URN] = cp
-	delete(s.history, cp.URN)
+	s.hist.Clear(cp.URN)
 	s.modCount++
 	return cp.Version, nil
 }
@@ -423,7 +352,7 @@ func (s *Store) InstallDelete(u urn.URN) {
 		return
 	}
 	delete(s.objs, u)
-	delete(s.history, u)
+	s.hist.Clear(u)
 	s.modCount++
 }
 
@@ -502,6 +431,14 @@ func (s *Store) ClearConflicts() int {
 // Because the order is canonical, two stores hold identical committed state
 // iff their snapshots are byte-identical — the convergence check the
 // replication chaos harness relies on.
+//
+// Concurrency contract (shared by every Backend): the snapshot is an atomic
+// cut. Commits running concurrently with Snapshot either appear in it
+// entirely or not at all — the encoding can never interleave an object's
+// old state with another's newer state from the same commit batch, and an
+// object's encoded version always matches its encoded state. The in-memory
+// implementation holds the read lock for the full encoding; a snapshot is
+// therefore deterministic for a given committed state, byte-for-byte.
 func (s *Store) Snapshot() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -539,28 +476,67 @@ func (s *Store) Load(path string) error {
 	if err != nil {
 		return fmt.Errorf("store: load: %w", err)
 	}
+	return s.LoadSnapshot(data)
+}
+
+// LoadSnapshot atomically replaces the store's contents with a snapshot
+// previously produced by Snapshot. The snapshot is decoded fully before the
+// swap, so a corrupt snapshot leaves the store untouched, and concurrent
+// readers see either the old population or the new one, never a mix.
+func (s *Store) LoadSnapshot(data []byte) error {
+	objs, err := DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.objs = objs
+	// Snapshots carry no operation history; loaded versions are opaque.
+	s.hist.ClearAll()
+	s.modCount++
+	s.mu.Unlock()
+	return nil
+}
+
+// DecodeSnapshot decodes a Snapshot encoding into an object map — shared by
+// every Backend's LoadSnapshot.
+func DecodeSnapshot(data []byte) (map[urn.URN]*rdo.Object, error) {
 	r := wire.NewReader(data)
 	n := r.Len()
 	objs := make(map[urn.URN]*rdo.Object, n)
 	for i := 0; i < n; i++ {
 		blob := r.Bytes()
 		if err := r.Err(); err != nil {
-			return fmt.Errorf("store: load: %w", err)
+			return nil, fmt.Errorf("store: load: %w", err)
 		}
 		obj, err := rdo.Decode(blob)
 		if err != nil {
-			return fmt.Errorf("store: load object %d: %w", i, err)
+			return nil, fmt.Errorf("store: load object %d: %w", i, err)
 		}
 		objs[obj.URN] = obj
 	}
 	if !r.Done() {
-		return fmt.Errorf("store: load: trailing bytes")
+		return nil, fmt.Errorf("store: load: trailing bytes")
 	}
-	s.mu.Lock()
-	s.objs = objs
-	// Snapshots carry no operation history; loaded versions are opaque.
-	s.history = make(map[urn.URN][]opsRec)
-	s.modCount++
-	s.mu.Unlock()
-	return nil
+	return objs, nil
 }
+
+// Occupancy implements Backend. The in-memory store keeps everything
+// resident, so resident bytes track the whole population and the disk-only
+// counters stay zero. Computed on demand — call it at stats-line cadence,
+// not per-request.
+func (s *Store) Occupancy() Occupancy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var bytes int64
+	for _, obj := range s.objs {
+		bytes += int64(obj.SizeEstimate())
+	}
+	return Occupancy{
+		Objects:         len(s.objs),
+		ResidentObjects: len(s.objs),
+		ResidentBytes:   bytes,
+	}
+}
+
+// Close implements Backend; the in-memory store has nothing to release.
+func (s *Store) Close() error { return nil }

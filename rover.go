@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
@@ -55,6 +56,7 @@ import (
 	"rover/internal/session"
 	"rover/internal/stable"
 	"rover/internal/store"
+	"rover/internal/store/disk"
 	"rover/internal/transport"
 	"rover/internal/urn"
 	"rover/internal/vtime"
@@ -458,8 +460,22 @@ type ServerOptions struct {
 	// AuthKeys maps client IDs to hex keys; nil disables authentication.
 	AuthKeys map[string]string
 	// SnapshotPath, when set, is loaded at startup if present; call
-	// SaveSnapshot to persist.
+	// SaveSnapshot to persist. Mutually exclusive with StoreDir, whose
+	// segment already makes every commit durable.
 	SnapshotPath string
+	// StoreDir, when set, selects the disk-backed object store: committed
+	// mutations are group-committed to an append-only segment in this
+	// directory, a byte-bounded LRU keeps hot decoded objects resident, and
+	// the population is recovered (torn tail truncated) at startup. Empty
+	// selects the all-resident in-memory store.
+	StoreDir string
+	// StoreCacheBytes bounds the disk store's hot-object cache (zero = the
+	// disk package default, 64 MiB). Ignored without StoreDir.
+	StoreCacheBytes int64
+	// StoreCompactEvery is the number of committed mutations between
+	// compaction checks of the disk store's segment (zero = default).
+	// Ignored without StoreDir.
+	StoreCompactEvery int
 	// InvokeBudget bounds server-side RDO execution steps per invocation.
 	InvokeBudget int64
 	// Workers sizes the request-execution worker pool: requests from one
@@ -521,7 +537,8 @@ type ServerOptions struct {
 type Server struct {
 	engine   *qrpc.Server
 	srv      *server.Server
-	journals []stable.Log // empty unless JournalPath is set; one per shard
+	backend  store.Backend // closed by Close when StoreDir is set
+	journals []stable.Log  // empty unless JournalPath is set; one per shard
 	opts     ServerOptions
 
 	replMu  sync.Mutex
@@ -532,6 +549,9 @@ type Server struct {
 
 // NewServer builds a server.
 func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.StoreDir != "" && opts.SnapshotPath != "" {
+		return nil, errors.New("rover: StoreDir and SnapshotPath are mutually exclusive: the disk store is already durable")
+	}
 	var reg *auth.Registry
 	if len(opts.AuthKeys) > 0 {
 		reg = auth.NewRegistry()
@@ -560,9 +580,27 @@ func NewServer(opts ServerOptions) (*Server, error) {
 			return nil, err
 		}
 	}
+	var backend store.Backend
+	if opts.StoreDir != "" {
+		ds, err := disk.Open(disk.Options{
+			Dir:          opts.StoreDir,
+			CacheBytes:   opts.StoreCacheBytes,
+			CompactEvery: opts.StoreCompactEvery,
+		})
+		if err != nil {
+			for _, jl := range journals {
+				jl.Close()
+			}
+			return nil, fmt.Errorf("rover: disk store: %w", err)
+		}
+		backend = ds
+	}
 	closeJournals := func() {
 		for _, jl := range journals {
 			jl.Close()
+		}
+		if backend != nil {
+			backend.Close()
 		}
 	}
 	engine := qrpc.NewServer(qrpc.ServerConfig{
@@ -579,15 +617,15 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		closeJournals()
 		return nil, err
 	}
-	srv, err := server.New(server.Config{Engine: engine, InvokeBudget: opts.InvokeBudget})
+	srv, err := server.New(server.Config{Engine: engine, Store: backend, InvokeBudget: opts.InvokeBudget})
 	if err != nil {
 		closeJournals()
 		return nil, err
 	}
-	s := &Server{engine: engine, srv: srv, journals: journals, opts: opts}
+	s := &Server{engine: engine, srv: srv, backend: backend, journals: journals, opts: opts}
 	if opts.SnapshotPath != "" {
-		if err := srv.Store().Load(opts.SnapshotPath); err == nil {
-			// loaded existing snapshot
+		if data, err := os.ReadFile(opts.SnapshotPath); err == nil {
+			_ = srv.Store().LoadSnapshot(data) // loaded existing snapshot
 		}
 	}
 	return s, nil
@@ -655,8 +693,12 @@ func (s *Server) JournalCost() time.Duration {
 	return worst
 }
 
-// Store exposes the object store.
-func (s *Server) Store() *store.Store { return s.srv.Store() }
+// Store exposes the object store backend (in-memory by default, disk-backed
+// when StoreDir is configured).
+func (s *Server) Store() store.Backend { return s.srv.Store() }
+
+// StoreStats reports the store's population and cache-residency counters.
+func (s *Server) StoreStats() store.Occupancy { return s.srv.Store().Occupancy() }
 
 // RegisterResolver installs a type-specific conflict resolver.
 func (s *Server) RegisterResolver(typeName string, r Resolver) {
@@ -696,15 +738,31 @@ func (s *Server) Close() error {
 			err = jerr
 		}
 	}
+	if s.backend != nil {
+		if berr := s.backend.Close(); err == nil {
+			err = berr
+		}
+	}
 	return err
 }
 
-// SaveSnapshot persists the object store to the configured snapshot path.
+// SaveSnapshot persists the object store to the configured snapshot path
+// (write to a temp file, then rename, so a crash never leaves a partial
+// snapshot at the configured path).
 func (s *Server) SaveSnapshot() error {
 	if s.opts.SnapshotPath == "" {
 		return errors.New("rover: no SnapshotPath configured")
 	}
-	return s.srv.Store().Save(s.opts.SnapshotPath)
+	snap := s.srv.Store().Snapshot()
+	tmp := s.opts.SnapshotPath + ".tmp"
+	if err := os.WriteFile(tmp, snap, 0o600); err != nil {
+		return fmt.Errorf("rover: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.opts.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rover: save snapshot rename: %w", err)
+	}
+	return nil
 }
 
 // ServerStats returns the application-layer counters (deltas served,

@@ -180,6 +180,62 @@ func TestFacadeSnapshotPersistence(t *testing.T) {
 	}
 }
 
+func TestFacadeDiskStoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(ServerOptions{ServerID: "home", StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Seed(notesObject(t, "notes")); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientOptions{ClientID: "laptop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := cli.ConnectPipe(srv)
+	link.SetConnected(true)
+	u := MustParseURN("urn:rover:home/notes")
+	if _, err := cli.ImportWait(ctx(t), u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Invoke(u, "add", "durable note"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cli.Tentative(u) {
+		if time.Now().After(deadline) {
+			t.Fatal("never committed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cli.Close()
+	if occ := srv.StoreStats(); occ.Objects != 1 {
+		t.Errorf("occupancy %+v", occ)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted server recovers the committed state from the segment.
+	srv2, err := NewServer(ServerOptions{ServerID: "home", StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	got, err := srv2.Store().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Get("n0"); v != "durable note" {
+		t.Errorf("recovered state %q", v)
+	}
+
+	if _, err := NewServer(ServerOptions{StoreDir: dir, SnapshotPath: "x.snap"}); err == nil {
+		t.Error("StoreDir+SnapshotPath accepted")
+	}
+}
+
 func TestFacadeValidation(t *testing.T) {
 	if _, err := NewClient(ClientOptions{}); err == nil {
 		t.Error("client without ID accepted")
