@@ -1,0 +1,245 @@
+package rover
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rover/internal/stable"
+	"rover/internal/store"
+)
+
+// Autotune defaults (see ServerOptions.Autotune).
+const (
+	defaultAutotuneInterval  = 2 * time.Second
+	defaultAutotuneFsyncCost = 2 * time.Millisecond
+	defaultJournalShardsMax  = 8
+	autotuneCacheGrowthCap   = 8 // default cache cap = 8× the starting budget
+
+	// autotuneMinActivity is the per-tick activity floor: a growth decision
+	// needs at least this many new cold faults (cache) or journal records
+	// (shards) since the last tick, so an idle server never tunes on stale
+	// ratios.
+	autotuneMinActivity = 64
+)
+
+// AutotuneReport is a snapshot of the adaptive controller's state and
+// decisions, surfaced on the server stats line and asserted by tests.
+type AutotuneReport struct {
+	Enabled      bool
+	CacheBytes   int64 // current hot-object cache budget (0 when untunable)
+	CacheMax     int64 // the budget's hard cap
+	CacheGrowths int64 // times the controller grew the cache
+	ShardCount   int   // current journal shard count (0 without a journal)
+	ShardMax     int   // the shard count's hard cap
+	ShardGrowths int64 // times the controller grew the shard count
+}
+
+// autotuner is the facade's adaptive cold-path controller: a periodic pass
+// over the store's occupancy counters and the journal's measured fsync
+// latency that grows the hot-object cache and the journal shard count while
+// the workload says they are undersized. Both knobs are strictly grow-only
+// — shrinking a cache merely re-faults, but shrinking a shard count orphans
+// journal files — and both are hard-capped, so a pathological workload
+// cannot run the server out of memory or file descriptors.
+type autotuner struct {
+	s         *Server
+	interval  time.Duration
+	cacheMax  int64
+	shardsMax int
+	fsyncCost time.Duration
+
+	mu           sync.Mutex
+	lastHits     int64
+	lastFaults   int64
+	lastRecords  int64
+	cacheGrowths int64
+	shardGrowths int64
+
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+func newAutotuner(s *Server) *autotuner {
+	t := &autotuner{
+		s:         s,
+		interval:  s.opts.AutotuneInterval,
+		cacheMax:  s.opts.StoreCacheMaxBytes,
+		shardsMax: s.opts.JournalShardsMax,
+		fsyncCost: s.opts.AutotuneFsyncCost,
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if t.interval <= 0 {
+		t.interval = defaultAutotuneInterval
+	}
+	if t.fsyncCost <= 0 {
+		t.fsyncCost = defaultAutotuneFsyncCost
+	}
+	if t.cacheMax <= 0 {
+		start := int64(0)
+		if ct, ok := s.backend.(store.CacheTuner); ok {
+			start = ct.CacheBytes()
+		}
+		t.cacheMax = start * autotuneCacheGrowthCap
+	}
+	if t.shardsMax <= 0 {
+		t.shardsMax = defaultJournalShardsMax
+		if n := len(s.journals); n > t.shardsMax {
+			t.shardsMax = n
+		}
+	}
+	return t
+}
+
+func (t *autotuner) start() {
+	go func() {
+		defer close(t.done)
+		ticker := time.NewTicker(t.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.stopCh:
+				return
+			case <-ticker.C:
+				t.s.AutotuneTick()
+			}
+		}
+	}()
+}
+
+func (t *autotuner) stop() {
+	close(t.stopCh)
+	<-t.done
+}
+
+// AutotuneTick runs one controller pass and returns a short description of
+// the actions taken ("" when none) — the stats loop appends it to the
+// periodic line so tuning decisions are visible. The periodic ticker calls
+// this on its own; tests and operators may call it directly (the pass is
+// safe to run concurrently with traffic and with the ticker).
+func (s *Server) AutotuneTick() string {
+	if s.tuner == nil {
+		return ""
+	}
+	t := s.tuner
+	var actions []string
+	if a := t.tuneCache(); a != "" {
+		actions = append(actions, a)
+	}
+	if a := t.tuneShards(); a != "" {
+		actions = append(actions, a)
+	}
+	return strings.Join(actions, " ")
+}
+
+// AutotuneReport snapshots the controller state (zero-value with Enabled
+// false when Autotune is off).
+func (s *Server) AutotuneReport() AutotuneReport {
+	if s.tuner == nil {
+		return AutotuneReport{}
+	}
+	t := s.tuner
+	r := AutotuneReport{Enabled: true, CacheMax: t.cacheMax, ShardMax: t.shardsMax}
+	if ct, ok := s.backend.(store.CacheTuner); ok {
+		r.CacheBytes = ct.CacheBytes()
+	}
+	r.ShardCount = s.engine.JournalShardCount()
+	t.mu.Lock()
+	r.CacheGrowths = t.cacheGrowths
+	r.ShardGrowths = t.shardGrowths
+	t.mu.Unlock()
+	return r
+}
+
+// tuneCache doubles the hot-object cache budget (clamped to the cap) when
+// the tick's delta shows cold faults outnumbering cache hits with the cache
+// essentially full — the residency shortfall is the budget, not the
+// workload's reuse pattern.
+func (t *autotuner) tuneCache() string {
+	ct, ok := t.s.backend.(store.CacheTuner)
+	if !ok {
+		return ""
+	}
+	occ := t.s.backend.Occupancy()
+	t.mu.Lock()
+	dHits := occ.CacheHits - t.lastHits
+	dFaults := occ.ColdFaults - t.lastFaults
+	t.lastHits = occ.CacheHits
+	t.lastFaults = occ.ColdFaults
+	t.mu.Unlock()
+	cur := ct.CacheBytes()
+	if cur <= 0 || cur >= t.cacheMax {
+		return ""
+	}
+	if dFaults < autotuneMinActivity || dFaults <= dHits {
+		return ""
+	}
+	if occ.ResidentBytes*8 < cur*7 {
+		return "" // faults with a non-full cache: capacity is not the problem
+	}
+	next := cur * 2
+	if next > t.cacheMax {
+		next = t.cacheMax
+	}
+	ct.SetCacheBytes(next)
+	t.mu.Lock()
+	t.cacheGrowths++
+	t.mu.Unlock()
+	return fmt.Sprintf("autotune: cache %dMiB→%dMiB (faults %d > hits %d)",
+		cur>>20, next>>20, dFaults, dHits)
+}
+
+// tuneShards doubles the journal shard count online (clamped to the cap)
+// when the measured fsync latency says group commits are convoying: more
+// shards mean more parallel fsync leaders. New shard files are opened
+// beside the existing ones and handed to the engine's online growth; on any
+// failure the old configuration stays in force.
+func (t *autotuner) tuneShards() string {
+	s := t.s
+	if s.opts.JournalPath == "" {
+		return ""
+	}
+	cost := s.JournalCost()
+	engineStats := s.engine.Stats()
+	t.mu.Lock()
+	dRecords := engineStats.JournalRecords - t.lastRecords
+	t.lastRecords = engineStats.JournalRecords
+	t.mu.Unlock()
+	if cost < t.fsyncCost || dRecords < autotuneMinActivity {
+		return ""
+	}
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	cur := len(s.journals)
+	if cur == 0 || cur >= t.shardsMax {
+		return ""
+	}
+	target := cur * 2
+	if target > t.shardsMax {
+		target = t.shardsMax
+	}
+	newLogs := make([]stable.Log, 0, target-cur)
+	for i := cur; i < target; i++ {
+		fl, err := stable.OpenFileLog(journalShardPath(s.opts.JournalPath, i), stable.Options{})
+		if err != nil {
+			for _, l := range newLogs {
+				l.Close()
+			}
+			return ""
+		}
+		newLogs = append(newLogs, fl)
+	}
+	if err := s.engine.GrowJournalShards(newLogs); err != nil {
+		for _, l := range newLogs {
+			l.Close()
+		}
+		return ""
+	}
+	s.journals = append(s.journals, newLogs...)
+	t.mu.Lock()
+	t.shardGrowths++
+	t.mu.Unlock()
+	return fmt.Sprintf("autotune: journal shards %d→%d (fsync %v)", cur, target, cost)
+}

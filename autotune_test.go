@@ -1,0 +1,190 @@
+package rover
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rover/internal/store"
+)
+
+// TestAutotuneGrowsCacheToCap drives the disk store's hot-object cache into
+// sustained cold-faulting and checks the controller's whole envelope: it
+// doubles the budget only under real pressure, stops exactly at the cap, and
+// reports every decision.
+func TestAutotuneGrowsCacheToCap(t *testing.T) {
+	dir := t.TempDir()
+	probe := NewObject(MustParseURN("urn:rover:home/tune/000"), "t")
+	probe.Set("k", "v")
+	per := int64(probe.SizeEstimate())
+	budget := 4 * per
+	srv, err := NewServer(ServerOptions{
+		ServerID:           "tune",
+		StoreDir:           dir,
+		StoreCacheBytes:    budget,
+		StoreCacheMaxBytes: 4 * budget,
+		Autotune:           true,
+		AutotuneInterval:   time.Hour, // ticks under test control only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep := srv.AutotuneReport()
+	if !rep.Enabled || rep.CacheBytes != budget || rep.CacheMax != 4*budget {
+		t.Fatalf("initial report = %+v", rep)
+	}
+
+	be := srv.Store()
+	const objects = 200
+	for i := 0; i < objects; i++ {
+		o := NewObject(MustParseURN(fmt.Sprintf("urn:rover:home/tune/%03d", i)), "t")
+		o.Set("k", "v")
+		if err := be.Create(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweep := func() {
+		t.Helper()
+		for i := 0; i < objects; i++ {
+			if _, err := be.Get(MustParseURN(fmt.Sprintf("urn:rover:home/tune/%03d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// An idle tick must not grow anything: creates are not cold faults.
+	if act := srv.AutotuneTick(); act != "" {
+		t.Fatalf("idle tick acted: %q", act)
+	}
+
+	// Fault storm → double; again → cap; beyond → hold.
+	wantBudgets := []int64{2 * budget, 4 * budget, 4 * budget}
+	for round, want := range wantBudgets {
+		sweep()
+		act := srv.AutotuneTick()
+		rep = srv.AutotuneReport()
+		if rep.CacheBytes != want {
+			t.Fatalf("round %d: cache budget %d, want %d (action %q)", round, rep.CacheBytes, want, act)
+		}
+		if rep.CacheBytes > rep.CacheMax {
+			t.Fatalf("round %d: budget %d exceeded cap %d", round, rep.CacheBytes, rep.CacheMax)
+		}
+		grew := round < 2
+		if grew && !strings.Contains(act, "cache") {
+			t.Fatalf("round %d: growth not reported: %q", round, act)
+		}
+		if !grew && strings.Contains(act, "cache") {
+			t.Fatalf("round %d: acted at the cap: %q", round, act)
+		}
+	}
+	if rep.CacheGrowths != 2 {
+		t.Fatalf("CacheGrowths = %d, want 2", rep.CacheGrowths)
+	}
+	// The tuned budget is live on the backend, not just in the report.
+	if ct, ok := be.(store.CacheTuner); !ok || ct.CacheBytes() != 4*budget {
+		t.Fatalf("backend cache budget out of sync with the report")
+	}
+}
+
+// TestAutotuneGrowsShardsAndAdoptsOnReboot: journal fsync pressure grows the
+// shard count online (never past the cap), the grown shard files are adopted
+// on the next autotuned boot even when the configured count is lower, and a
+// non-autotuned boot still refuses to shrink.
+func TestAutotuneGrowsShardsAndAdoptsOnReboot(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "sessions.wal")
+	boot := func(shards int, autotune bool) (*Server, error) {
+		return NewServer(ServerOptions{
+			ServerID:          "tune",
+			JournalPath:       jpath,
+			JournalShards:     shards,
+			JournalShardsMax:  4,
+			Autotune:          autotune,
+			AutotuneInterval:  time.Hour,
+			AutotuneFsyncCost: time.Nanosecond, // any measured fsync qualifies
+		})
+	}
+	srv, err := boot(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientOptions{ClientID: "tuner-cli", NoAutoExport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	link := cli.ConnectPipe(srv)
+	link.SetConnected(true)
+	c := ctx(t)
+	created := 0
+	traffic := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			created++
+			o := notesObject(t, fmt.Sprintf("tuned/%03d", created))
+			if _, err := cli.CreateWait(c, o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	traffic(70) // > the per-tick activity floor, every create journaled
+	act := srv.AutotuneTick()
+	rep := srv.AutotuneReport()
+	if rep.ShardCount != 2 || rep.ShardGrowths != 1 {
+		t.Fatalf("after first pressured tick: %+v (action %q)", rep, act)
+	}
+	if !strings.Contains(act, "journal shards 1→2") {
+		t.Fatalf("growth not reported: %q", act)
+	}
+
+	traffic(70)
+	if act := srv.AutotuneTick(); !strings.Contains(act, "journal shards 2→4") {
+		t.Fatalf("second growth not reported: %q", act)
+	}
+	traffic(70)
+	if act := srv.AutotuneTick(); strings.Contains(act, "shards") {
+		t.Fatalf("grew past the cap: %q", act)
+	}
+	rep = srv.AutotuneReport()
+	if rep.ShardCount != 4 || rep.ShardGrowths != 2 || rep.ShardCount > rep.ShardMax {
+		t.Fatalf("final report = %+v", rep)
+	}
+	// Post-growth traffic lands safely in the grown configuration.
+	traffic(10)
+	if err := srv.Engine().JournalError(); err != nil {
+		t.Fatalf("journal poisoned by online growth: %v", err)
+	}
+	srv.Close()
+
+	// An autotuned boot configured for 1 shard adopts all four files.
+	srv2, err := boot(1, true)
+	if err != nil {
+		t.Fatalf("adopt-mode reboot: %v", err)
+	}
+	if got := len(srv2.JournalStats()); got != 4 {
+		srv2.Close()
+		t.Fatalf("adopted %d shards, want 4", got)
+	}
+	if st := srv2.Engine().Stats(); st.RecoveredSessions == 0 {
+		srv2.Close()
+		t.Fatal("no sessions recovered from the grown journal")
+	}
+	srv2.Close()
+
+	// Without autotune the old contract stands: shrinking is refused.
+	if _, err := boot(1, false); err == nil {
+		t.Fatal("non-autotuned boot shrank a grown journal")
+	} else if !strings.Contains(err.Error(), "never shrink") {
+		t.Fatalf("shrink refusal error = %v", err)
+	}
+	srv4, err := boot(4, false)
+	if err != nil {
+		t.Fatalf("explicit 4-shard boot: %v", err)
+	}
+	srv4.Close()
+}

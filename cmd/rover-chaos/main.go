@@ -67,15 +67,21 @@ var (
 	compress     = flag.Bool("compress", false, "clients advertise the compressed-batch capability (exercises the fault schedules over compressed frames)")
 	journShards  = flag.Int("journal-shards", 1, "crash-server: session journal shard count (torn tails and dirty appends land on random shards)")
 	useStoreDir  = flag.Bool("store-dir", false, "crash-server: run the disk-backed object store variant (booking workload; segment torn tails, compaction, recovery)")
+	storeCache   = flag.Int64("store-cache", 0, "crash-server -store-dir: hot-object cache bytes per incarnation (0 = 4 KiB, deliberately tiny so reads fault from the segment)")
+	storeCompact = flag.Int("store-compact-every", 0, "crash-server -store-dir: mutations between store compaction checks (0 = 8)")
+	useAutotune  = flag.Bool("autotune", false, "crash-server -store-dir: enable the adaptive cache/shard controller in every incarnation (fast interval; shard growth survives crashes via adopt-mode reopen)")
 )
 
 // flagScenarios maps each scenario-specific flag to the scenarios that
 // honor it. A flag set on the command line but ignored by every selected
 // scenario gets a stderr warning instead of silently doing nothing.
 var flagScenarios = map[string][]string{
-	"compress":       {"sim", "pipe", "mail", "crash", "crash-server"},
-	"journal-shards": {"crash-server"},
-	"store-dir":      {"crash-server"},
+	"compress":            {"sim", "pipe", "mail", "crash", "crash-server"},
+	"journal-shards":      {"crash-server"},
+	"store-dir":           {"crash-server"},
+	"store-cache":         {"crash-server"},
+	"store-compact-every": {"crash-server"},
+	"autotune":            {"crash-server"},
 }
 
 // Temp-dir registry: every scenario allocates its scratch space through
@@ -179,6 +185,15 @@ func main() {
 				}
 				if *useStoreDir {
 					extra += " -store-dir"
+				}
+				if *storeCache > 0 {
+					extra += fmt.Sprintf(" -store-cache=%d", *storeCache)
+				}
+				if *storeCompact > 0 {
+					extra += fmt.Sprintf(" -store-compact-every=%d", *storeCompact)
+				}
+				if *useAutotune {
+					extra += " -autotune"
 				}
 				fmt.Fprintf(os.Stderr, "VIOLATION scenario=%s seed=%d: %v\n", r.name, s, err)
 				fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/rover-chaos -schedules=1 -seed=%d -scenario=%s%s -v\n", s, r.name, extra)
@@ -980,14 +995,28 @@ func runCrashServerStore(seed int64, verbose bool) error {
 	// boot builds the next server incarnation over the SAME store and
 	// journal directories, then audits the recovered store directory: after
 	// Open's crash-leftover cleanup it must hold exactly the live segment.
+	cache := *storeCache
+	if cache <= 0 {
+		cache = 1 << 12 // tiny cache: most reads fault in from the segment
+	}
+	compactEvery := *storeCompact
+	if compactEvery <= 0 {
+		compactEvery = 8
+	}
 	boot := func() error {
 		s, err := rover.NewServer(rover.ServerOptions{
 			ServerID:          "chaos-home",
 			StoreDir:          sdir,
-			StoreCacheBytes:   1 << 12, // tiny cache: most reads fault in from the segment
-			StoreCompactEvery: 8,
+			StoreCacheBytes:   cache,
+			StoreCompactEvery: compactEvery,
 			JournalPath:       jpath,
 			JournalShards:     shards,
+			Autotune:          *useAutotune,
+			// Fast controller period and a zero fsync threshold so a short
+			// chaos schedule actually exercises online shard growth; the
+			// next incarnation must adopt the grown shard files.
+			AutotuneInterval:  5 * time.Millisecond,
+			AutotuneFsyncCost: time.Nanosecond,
 		})
 		if err != nil {
 			return fmt.Errorf("incarnation %d boot: %w", incarnations, err)
@@ -998,7 +1027,9 @@ func runCrashServerStore(seed int64, verbose bool) error {
 			return derr
 		}
 		for _, e := range ents {
-			if e.Name() != "store.seg" {
+			// store.fidx is the index-footer sidecar a clean close or
+			// compaction leaves beside the segment — live state, not an orphan.
+			if e.Name() != "store.seg" && e.Name() != "store.fidx" {
 				s.Close()
 				return fmt.Errorf("incarnation %d: orphaned file %q in store dir after recovery", incarnations, e.Name())
 			}

@@ -44,6 +44,11 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 0, "admission high-water mark: refuse NEW sessions past this many (0 = unlimited)")
 		sessBudget   = flag.Int("session-budget", 0, "per-session unacked-reply byte budget; at the budget new requests are dropped until acks free it (0 = unlimited)")
 		replyCache   = flag.Int("reply-cache", 0, "encoded-reply cache bytes (0 = default 8 MiB, negative disables)")
+		autotune     = flag.Bool("autotune", false, "adaptive cold-path controller: grow the store cache and journal shard count under load (grow-only, capped)")
+		tuneEvery    = flag.Duration("autotune-interval", 0, "autotune controller period (0 = default 2s)")
+		cacheMax     = flag.Int64("store-cache-max", 0, "autotune cache growth cap in bytes (0 = 8x the starting budget)")
+		shardsMax    = flag.Int("journal-shards-max", 0, "autotune shard growth cap (0 = max(8, -journal-shards))")
+		tuneFsync    = flag.Duration("autotune-fsync-cost", 0, "measured fsync latency that triggers shard growth (0 = default 2ms)")
 		saveInterval = flag.Duration("save-interval", time.Minute, "periodic snapshot interval (0 disables)")
 		seed         = flag.String("seed", "", "seed demo content: mail, calendar, web, or all")
 		peer         = flag.String("peer", "", "replica peer QRPC address; enables home-pair replication")
@@ -65,6 +70,11 @@ func main() {
 		MaxSessions:        *maxSessions,
 		SessionBudgetBytes: *sessBudget,
 		ReplyCacheBytes:    *replyCache,
+		Autotune:           *autotune,
+		AutotuneInterval:   *tuneEvery,
+		StoreCacheMaxBytes: *cacheMax,
+		JournalShardsMax:   *shardsMax,
+		AutotuneFsyncCost:  *tuneFsync,
 	})
 	if err != nil {
 		log.Fatalf("rover-server: %v", err)
@@ -179,6 +189,11 @@ func logStats(srv *rover.Server) {
 	line += fmt.Sprintf(" | store: objects=%d resident=%d/%s hits=%d coldFaults=%d compactions=%d segBytes=%d",
 		occ.Objects, occ.ResidentObjects, humanBytes(occ.ResidentBytes),
 		occ.CacheHits, occ.ColdFaults, occ.Compactions, occ.SegmentBytes)
+	if ar := srv.AutotuneReport(); ar.Enabled {
+		line += fmt.Sprintf(" | autotune: cache=%s/%s cacheGrowths=%d shards=%d/%d shardGrowths=%d",
+			humanBytes(ar.CacheBytes), humanBytes(ar.CacheMax), ar.CacheGrowths,
+			ar.ShardCount, ar.ShardMax, ar.ShardGrowths)
+	}
 	if rep := srv.Replicator(); rep != nil {
 		rs := rep.Stats()
 		line += fmt.Sprintf(

@@ -87,11 +87,11 @@ func (e *RemoteError) Error() string {
 
 // ClientStats counts client-engine activity for the benchmark harness.
 type ClientStats struct {
-	Enqueued    int64
-	Sent        int64 // request frames handed to a transport
-	Resent      int64 // request frames sent more than once
-	Replies     int64
-	Duplicates  int64 // replies for already-completed requests
+	Enqueued     int64
+	Sent         int64 // request frames handed to a transport
+	Resent       int64 // request frames sent more than once
+	Replies      int64
+	Duplicates   int64 // replies for already-completed requests
 	AcksSent     int64
 	BatchesSent  int64 // FrameBatch frames sent (coalesced pump cycles)
 	ZBatchesSent int64 // compressed (FrameBatchZ) frames sent
@@ -122,12 +122,13 @@ type ServerStats struct {
 	ReplicatedReplies int64
 
 	// Session-journal counters (zero when the server has no journal).
-	JournalRecords     int64 // exec/ack/prune records appended
-	JournalCompactions int64 // snapshot+truncate cycles completed
-	JournalRefused     int64 // requests refused because the journal is poisoned
-	RecoveredSessions  int64 // sessions rebuilt from the journal at construction
-	RecoveredReplies   int64 // cached replies rebuilt from the journal at construction
-	JournalReshards    int64 // sessions rewritten into their home shard at recovery
+	JournalRecords      int64 // exec/ack/prune records appended
+	JournalCompactions  int64 // snapshot+truncate cycles completed
+	JournalRefused      int64 // requests refused because the journal is poisoned
+	RecoveredSessions   int64 // sessions rebuilt from the journal at construction
+	RecoveredReplies    int64 // cached replies rebuilt from the journal at construction
+	JournalReshards     int64 // sessions rewritten into their home shard at recovery
+	JournalShardGrowths int64 // online shard-count increases (GrowJournalShards)
 
 	// Admission-control and budget counters (see ServerConfig.MaxSessions
 	// and SessionBudgetBytes).

@@ -154,10 +154,14 @@ type Server struct {
 	// when disabled). See replycache.go.
 	replyCache *replyCache
 
-	// Journal state (see journal.go): the shard set is immutable after
-	// construction; each shard's gate orders its appends against its
-	// compaction. journalErr is sticky and server-wide.
+	// Journal state (see journal.go): journaled is set at construction and
+	// never changes; the shards slice is read and replaced under mu —
+	// GrowJournalShards may extend it online (existing *journalShard values
+	// are never replaced, only appended after). Each shard's gate orders its
+	// appends against its compaction. journalErr is sticky and server-wide.
+	journaled  bool
 	shards     []*journalShard
+	growing    bool  // under mu: one online shard growth at a time
 	journalErr error // sticky (under mu): recovery or append failure
 	compactWG  sync.WaitGroup
 }
@@ -186,6 +190,7 @@ func NewServer(cfg ServerConfig) *Server {
 		bl, _ := log.(stable.BatchLog)
 		s.shards = append(s.shards, &journalShard{idx: i, log: log, batch: bl})
 	}
+	s.journaled = len(s.shards) > 0
 	if s.hasJournal() {
 		if err := s.recoverJournal(); err != nil {
 			s.journalErr = fmt.Errorf("qrpc: journal recovery: %w", err)
@@ -373,8 +378,7 @@ func (s *Server) journalSessionRecord(clientID string, encode func() []byte) {
 	if !s.hasJournal() {
 		return
 	}
-	sh := s.shardFor(clientID)
-	sh.gate.RLock()
+	sh := s.lockShardFor(clientID)
 	defer sh.gate.RUnlock()
 	s.mu.Lock()
 	poisoned := s.journalErr != nil
@@ -527,8 +531,7 @@ func (s *Server) execute(sess *session, clientID string, handler Handler, req Re
 		// different shards' leaders fsync in parallel — so this is
 		// amortized, not one sync per request. The gate's read side is held
 		// across append AND the bookkeeping below — see journalShard.gate.
-		sh = s.shardFor(clientID)
-		sh.gate.RLock()
+		sh = s.lockShardFor(clientID)
 		defer sh.gate.RUnlock()
 		id, err := sh.log.Append(encodeExecRecordEnc(clientID, enc))
 		if err != nil {
@@ -619,7 +622,11 @@ func (s *Server) executeChunkBatched(tasks []poolTask) (staged []stagedExec, ok 
 	if !s.hasJournal() {
 		return nil, false
 	}
-	sh := s.shardFor(tasks[0].clientID)
+	// The gate's read side is held across every staged append AND the
+	// bookkeeping below, exactly like execute's single-append window, so
+	// compaction's write side still observes the full invariant.
+	sh := s.lockShardFor(tasks[0].clientID)
+	defer sh.gate.RUnlock()
 	if sh.batch == nil {
 		return nil, false
 	}
@@ -638,11 +645,6 @@ func (s *Server) executeChunkBatched(tasks []poolTask) (staged []stagedExec, ok 
 		refuse(nil)
 		return nil, true
 	}
-	// The gate's read side is held across every staged append AND the
-	// bookkeeping below, exactly like execute's single-append window, so
-	// compaction's write side still observes the full invariant.
-	sh.gate.RLock()
-	defer sh.gate.RUnlock()
 	staged = make([]stagedExec, 0, len(tasks))
 	for i := range tasks {
 		t := &tasks[i]

@@ -125,6 +125,12 @@ type pair struct {
 	links   [2]*transport.Sim // links[i]: reps[i] stream -> srvs[1-i]
 	simSeed int64
 	inc     int
+
+	// Disk-backed variant (newDiskPair): per-server store directories so a
+	// rebooted server recovers its population, and the origin's compaction
+	// cadence (0 = package default).
+	dirs         [2]string
+	compactEvery int
 }
 
 func newPair(t *testing.T) *pair {
@@ -145,10 +151,35 @@ func newPair(t *testing.T) *pair {
 	return p
 }
 
+// newDiskPair is newPair with both servers on disk-backed stores: reboots
+// keep their population, which is what the far-behind catch-up tests need.
+func newDiskPair(t *testing.T, compactEvery int) *pair {
+	t.Helper()
+	p := &pair{sched: vtime.NewScheduler(), simSeed: 1000, compactEvery: compactEvery}
+	p.clock = vtime.SchedulerClock{S: p.sched}
+	base := t.TempDir()
+	for i := 0; i < 2; i++ {
+		p.dirs[i] = fmt.Sprintf("%s/srv%d", base, i)
+	}
+	for i := 0; i < 2; i++ {
+		p.boot(t, i)
+	}
+	p.wire()
+	t.Cleanup(func() {
+		for i := 0; i < 2; i++ {
+			if p.srvs[i] != nil {
+				p.srvs[i].Close()
+			}
+		}
+	})
+	return p
+}
+
 func (p *pair) boot(t *testing.T, i int) {
 	t.Helper()
 	srv, err := rover.NewServer(rover.ServerOptions{
 		ServerID: fmt.Sprintf("pair-%c", 'a'+i), Workers: -1,
+		StoreDir: p.dirs[i], StoreCompactEvery: p.compactEvery,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -326,6 +357,104 @@ func TestPairStreamsExecRecords(t *testing.T) {
 	}
 	if got := p.srvs[1].Engine().Stats().ReplicatedReplies; got == 0 {
 		t.Error("peer engine counted no replicated replies")
+	}
+}
+
+// farBehindPair drives a disk-backed pair into the far-behind shape: B goes
+// down holding the object at a low version, A commits `commits` more ops
+// (far past the in-memory history window), then BOTH servers reboot — so no
+// queued stream records survive anywhere and the gap can only be closed by
+// the digest sweep. Returns the URN and B's pre-outage version.
+func farBehindPair(t *testing.T, p *pair, commits int) rover.URN {
+	t.Helper()
+	u := rover.MustParseURN("urn:rover:pair/counter")
+	if err := p.srvs[0].Seed(counterObject(u)); err != nil {
+		t.Fatal(err)
+	}
+	p.drain(t)
+	p.requireConverged(t)
+
+	cli, _ := pairClient(t, p, 0)
+	p.links[0].Duplex().SetUp(false)
+	p.links[1].Duplex().SetUp(false)
+	p.srvs[1].Close()
+	// Drain between invokes: each export commits as its own version step, so
+	// the version gap genuinely spans `commits` versions (a single batched
+	// export would collapse them into one step).
+	for i := 0; i < commits; i++ {
+		if _, err := cli.Invoke(u, "bump", fmt.Sprintf("far%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		p.drain(t)
+	}
+	// Reboot A as well: its outbound stream queue dies with it, so the gap
+	// genuinely exceeds anything redelivery could close.
+	p.srvs[0].Close()
+	p.boot(t, 0)
+	p.boot(t, 1)
+	p.wire() // reconnection fires the digest sweep
+	p.drain(t)
+	return u
+}
+
+// TestPairFarBehindSegmentCatchUp: a replica behind by far more than the
+// in-memory history window converges by segment-streamed deltas — bounded
+// chunks read straight from the origin's segment — with no full-state
+// transfer.
+func TestPairFarBehindSegmentCatchUp(t *testing.T) {
+	p := newDiskPair(t, 0)
+	const commits = 100 // >> store.DefaultHistoryLimit (32)
+	u := farBehindPair(t, p, commits)
+	p.requireConverged(t)
+	obj, err := p.srvs[1].Store().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < commits; i += 7 {
+		if _, ok := obj.Get(fmt.Sprintf("far%d", i)); !ok {
+			t.Errorf("replica missing far%d after segment catch-up", i)
+		}
+	}
+	st := p.reps[0].Stats()
+	if st.SegmentCatchUps == 0 {
+		t.Fatal("far-behind replica converged without a segment catch-up")
+	}
+	if st.FullSyncs != 0 {
+		t.Fatalf("far-behind catch-up fell back to %d full syncs", st.FullSyncs)
+	}
+	if st.CatchUpBytes == 0 {
+		t.Fatal("segment catch-up accounted no bytes")
+	}
+	// The delta must genuinely undercut shipping the object: compare against
+	// the full current state's encoding.
+	full := int64(len(p.srvs[0].Store().Snapshot()))
+	if st.CatchUpBytes >= full*4 {
+		t.Fatalf("catch-up bytes %d vs full state %d: delta path is not paying", st.CatchUpBytes, full)
+	}
+}
+
+// TestPairFarBehindCompactedFallsBackToFullSync: when compaction has
+// collapsed the origin's segment chain, the delta cannot be served — the
+// digest sweep must repair via full-state transfer instead, and the pair
+// still converges.
+func TestPairFarBehindCompactedFallsBackToFullSync(t *testing.T) {
+	p := newDiskPair(t, 8) // aggressive compaction breaks the chain
+	const commits = 100
+	u := farBehindPair(t, p, commits)
+	p.requireConverged(t)
+	obj, err := p.srvs[1].Store().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obj.Get(fmt.Sprintf("far%d", commits-1)); !ok {
+		t.Errorf("replica missing the newest commit after full-sync repair")
+	}
+	st := p.reps[0].Stats()
+	if st.FullSyncs == 0 {
+		t.Fatal("compacted origin repaired the gap without a full sync")
+	}
+	if st.FullSyncBytes == 0 {
+		t.Fatal("full sync accounted no bytes")
 	}
 }
 

@@ -58,16 +58,40 @@ type SegmentFile struct {
 
 // OpenSegmentFile opens (or creates) the segment at path and streams every
 // intact record through scan in file order, passing each record's byte
-// offset and payload; scan may be nil. A torn trailing record is truncated
-// away (TornTail reports it); interior corruption fails the open.
+// offset and payload; scan may be nil. The payload slice is only valid for
+// the duration of the scan call — retain a copy, not the slice. A torn
+// trailing record is truncated away (TornTail reports it); interior
+// corruption fails the open.
 func OpenSegmentFile(path string, opts Options, scan func(off int64, rec []byte) error) (*SegmentFile, error) {
+	return OpenSegmentFileAt(path, opts, 0, scan)
+}
+
+// OpenSegmentFileAt is OpenSegmentFile with the recovery scan starting at
+// byte offset start — a record boundary a previous incarnation persisted
+// (e.g. an index footer's offset), letting a recovered index skip the bulk
+// of the file. Records before start are trusted unseen; torn-tail
+// truncation still applies to the scanned region. start past the file's end
+// fails the open (the offset belongs to some other incarnation of the
+// file).
+func OpenSegmentFileAt(path string, opts Options, start int64, scan func(off int64, rec []byte) error) (*SegmentFile, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("stable: open segment: %w", err)
 	}
+	if start > 0 {
+		fi, serr := f.Stat()
+		if serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("stable: open segment: %w", serr)
+		}
+		if start > fi.Size() {
+			f.Close()
+			return nil, fmt.Errorf("%w: segment scan start %d past end %d", ErrCorrupt, start, fi.Size())
+		}
+	}
 	s := &SegmentFile{path: path, f: f, opts: opts, nextID: 1}
 	s.synced = sync.NewCond(&s.mu)
-	if err := s.recover(scan); err != nil {
+	if err := s.recover(scan, start); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -86,22 +110,25 @@ func CreateSegmentFile(path string, opts Options) (*SegmentFile, error) {
 	return s, nil
 }
 
-// recover streams the file through parseRecord in bounded chunks. buf holds
-// the unparsed window; pos is the file offset of buf[0].
-func (s *SegmentFile) recover(scan func(off int64, rec []byte) error) error {
+// recover streams the file through parseRecord in bounded chunks starting
+// at byte offset start. buf holds the unparsed window; pos is the file
+// offset of buf[0]. Payloads handed to scan alias buf and are only valid
+// during the scan call.
+func (s *SegmentFile) recover(scan func(off int64, rec []byte) error, start int64) error {
 	const chunk = 256 << 10
 	var (
 		buf  []byte
-		pos  int64
-		read int64
+		pos  = start
+		read = start
 		eof  bool
 	)
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	tmp := make([]byte, chunk)
 	for {
 		for len(buf) > 0 {
-			rec, n, err := parseRecord(buf)
+			rec, n, err := parseRecordZC(buf)
 			if err == errTorn && !eof {
 				break // need more bytes
 			}
@@ -140,7 +167,6 @@ func (s *SegmentFile) recover(scan func(off int64, rec []byte) error) error {
 		if len(buf) > 0 {
 			buf = append(buf[:0:0], buf...)
 		}
-		tmp := make([]byte, chunk)
 		n, err := s.f.ReadAt(tmp, read)
 		read += int64(n)
 		buf = append(buf, tmp[:n]...)
@@ -287,45 +313,135 @@ func (s *SegmentFile) commitLocked(seq uint64) error {
 	return nil
 }
 
+// segReadPool recycles the full-record read buffers of ReadAtFunc — the
+// cold-object fault-in path does one pread per miss and the buffer is dead
+// the moment the payload is decoded, so recycling removes the dominant
+// per-fault allocation.
+var segReadPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // ReadAt reads back the record starting at off — the offset a previous
 // AppendNoSync (or the open-time scan) reported — verifying its checksum,
-// and returns the payload. This is the cold-object fault-in path: a pread
-// plus a CRC check, no locks held across the I/O.
+// and returns the payload as a fresh slice the caller owns.
 func (s *SegmentFile) ReadAt(off int64) ([]byte, error) {
+	var out []byte
+	err := s.ReadAtFunc(off, func(payload []byte) error {
+		out = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAtFunc reads the record at off and hands its payload to fn without
+// copying: the payload aliases a pooled read buffer and is only valid for
+// the duration of the call. This is the cold-object fault-in path — a pread
+// plus a CRC check, no locks held across the I/O, and (via the pool) no
+// per-read allocation when the caller decodes in place.
+func (s *SegmentFile) ReadAtFunc(off int64, fn func(payload []byte) error) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	f, size := s.f, s.fileBytes
 	s.mu.Unlock()
 	if off < 0 || off >= size {
-		return nil, fmt.Errorf("%w: segment read at %d past end %d", ErrCorrupt, off, size)
+		return fmt.Errorf("%w: segment read at %d past end %d", ErrCorrupt, off, size)
 	}
 	// Probe enough for the header (kind + two uvarints + flags ≤ 22 bytes),
 	// size the record from it, then read the full extent.
-	probe := make([]byte, 64)
-	n, err := f.ReadAt(probe, off)
+	var probe [64]byte
+	n, err := f.ReadAt(probe[:], off)
 	if err != nil && err != io.EOF {
-		return nil, fmt.Errorf("stable: segment read: %w", err)
+		return fmt.Errorf("stable: segment read: %w", err)
 	}
 	total, err := segRecordSize(probe[:n])
 	if err != nil {
-		return nil, fmt.Errorf("%w: segment record at %d: unparsable header", ErrCorrupt, off)
+		return fmt.Errorf("%w: segment record at %d: unparsable header", ErrCorrupt, off)
 	}
-	full := make([]byte, total)
+	bp := segReadPool.Get().(*[]byte)
+	full := *bp
+	if cap(full) < total {
+		full = make([]byte, total)
+	} else {
+		full = full[:total]
+	}
+	defer func() {
+		*bp = full
+		segReadPool.Put(bp)
+	}()
 	if total <= n {
 		copy(full, probe[:total])
 	} else {
 		if _, err := io.ReadFull(io.NewSectionReader(f, off, int64(total)), full); err != nil {
-			return nil, fmt.Errorf("%w: segment record at %d: short read", ErrCorrupt, off)
+			return fmt.Errorf("%w: segment record at %d: short read", ErrCorrupt, off)
 		}
 	}
-	rec, _, perr := parseRecord(full)
+	rec, _, perr := parseRecordZC(full)
 	if perr != nil {
-		return nil, fmt.Errorf("%w: segment record at %d: %v", ErrCorrupt, off, perr)
+		return fmt.Errorf("%w: segment record at %d: %v", ErrCorrupt, off, perr)
 	}
-	return rec.payload, nil
+	return fn(rec.payload)
+}
+
+// parseRecordZC is parseRecord minus the defensive payload copy: an
+// uncompressed payload aliases p, so it is only valid while the caller owns
+// p. The segment's recovery scan and ReadAtFunc use it because their
+// consumers decode (and therefore copy) in place; compressed payloads are
+// freshly inflated either way.
+func parseRecordZC(p []byte) (parsedRecord, int, error) {
+	if len(p) < 1 {
+		return parsedRecord{}, 0, errTorn
+	}
+	if p[0] != kindAppend {
+		// Segments only ever hold appends; delegate oddities (bad kind,
+		// kindRemove framing) to the copying parser for uniform errors.
+		return parseRecord(p)
+	}
+	off := 1
+	id, n := binary.Uvarint(p[off:])
+	if n <= 0 {
+		return parsedRecord{}, 0, errTorn
+	}
+	off += n
+	if off >= len(p) {
+		return parsedRecord{}, 0, errTorn
+	}
+	flags := p[off]
+	off++
+	storedLen, n := binary.Uvarint(p[off:])
+	if n <= 0 {
+		return parsedRecord{}, 0, errTorn
+	}
+	off += n
+	if storedLen > MaxRecord {
+		return parsedRecord{}, 0, fmt.Errorf("%w: record of %d bytes", ErrCorrupt, storedLen)
+	}
+	if off+int(storedLen) > len(p) {
+		return parsedRecord{}, 0, errTorn
+	}
+	stored := p[off : off+int(storedLen)]
+	off += int(storedLen)
+	if off+4 > len(p) {
+		return parsedRecord{}, 0, errTorn
+	}
+	want := binary.LittleEndian.Uint32(p[off:])
+	got := crc32.Checksum(p[:off], crcTable)
+	off += 4
+	if got != want {
+		return parsedRecord{}, off, errBadCRC
+	}
+	payload := stored
+	if flags&flagCompressed != 0 {
+		dec, err := compress.Inflate(stored, MaxRecord)
+		if err != nil {
+			return parsedRecord{}, 0, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		payload = dec
+	}
+	return parsedRecord{kind: kindAppend, id: id, payload: payload}, off, nil
 }
 
 // segRecordSize decodes a record header from a prefix and returns the

@@ -72,6 +72,32 @@ type Backend interface {
 	Close() error
 }
 
+// OpsReader is an optional Backend extension for segment-backed stores: it
+// streams the ops that advance an object from version `from` to the version
+// current at the call, oldest first, straight from durable storage — so a
+// caller can assemble a delta far longer than the in-memory history window.
+// Each fn call carries one version step: its invocations, source tag, and
+// the object's full encoding at that version (callers use the last one as a
+// convergence check).
+//
+// ok=false with err=nil means the delta cannot be served (opaque jump in
+// the object's past, storage rewritten mid-stream, span too large) and the
+// caller must fall back to full-state transfer; an error from fn aborts the
+// stream and is returned. The replication layer type-asserts this interface
+// for far-behind replica catch-up.
+type OpsReader interface {
+	StreamOpsSince(u urn.URN, from uint64, fn func(ver uint64, invs []rdo.Invocation, src string, obj []byte) error) (bool, error)
+}
+
+// CacheTuner is an optional Backend extension: online retuning of the
+// backend's resident-cache budget. The facade's adaptive controller grows
+// the budget when the observed cold-fault ratio says the working set does
+// not fit; shrinking evicts immediately.
+type CacheTuner interface {
+	SetCacheBytes(n int64)
+	CacheBytes() int64
+}
+
 // Occupancy is a Backend's population and residency report — the store
 // section of the server stats line. For the in-memory backend resident ==
 // total and the fault/compaction counters stay zero; for the disk backend

@@ -56,6 +56,7 @@ type idxEnt struct {
 	off  int64
 	rlen int64 // on-disk record length (live-bytes accounting)
 	typ  string
+	kind byte // segment record kind at off (footer recovery, delta streaming)
 }
 
 // Store is the disk-backed Backend. See the package comment for the
@@ -104,6 +105,15 @@ type Store struct {
 	liveBytes        int64
 	compactions      int64
 	coldFaults       atomic.Int64
+
+	// Footer bookkeeping. segFooterBytes is the weight of 'X' records in
+	// the current segment (excluded from the compaction dead-weight test —
+	// a footer is overhead, not reclaimable garbage in the 2× sense).
+	// cleanFooter means the on-disk sidecar+footer describe the segment
+	// exactly through its end, so Close need not write another.
+	segFooterBytes    int64
+	cleanFooter       bool
+	recoveredByFooter bool
 }
 
 var _ store.Backend = (*Store)(nil)
@@ -140,9 +150,23 @@ func Open(opts Options) (*Store, error) {
 		committing: make(map[urn.URN]struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// Fast path: a valid sidecar points at an index footer near the
+	// segment's end — rebuild from it and scan only the tail.
+	if s.openFromFooter() {
+		return s, nil
+	}
 	var scanned int
 	seg, err := stable.OpenSegmentFile(s.path, stable.Options{Compress: opts.Compress},
-		func(off int64, rec []byte) error { scanned++; return s.applyScan(off, rec) })
+		func(off int64, rec []byte) error {
+			scanned++
+			if len(rec) > 0 && rec[0] == recFooter {
+				// A footer run whose sidecar is gone or stale: index data we
+				// cannot trust, carried as overhead until the next rewrite.
+				s.segFooterBytes += int64(len(rec)) + 16
+				return nil
+			}
+			return s.applyScan(off, rec)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -158,9 +182,20 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
+// RecoveredByFooter reports whether this Open took the footer fast path
+// instead of the full streaming scan (observability for tests and bench).
+func (s *Store) RecoveredByFooter() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recoveredByFooter
+}
+
 // applyScan replays one segment record into the index and history during
 // Open — the same transitions the publish paths make, minus the cache.
 func (s *Store) applyScan(off int64, p []byte) error {
+	if len(p) > 0 && p[0] == recFooter {
+		return nil // index footer chunk: recovery metadata, not object state
+	}
 	rec, err := decodeRecord(p)
 	if err != nil {
 		return fmt.Errorf("disk: segment offset %d: %w", off, err)
@@ -172,14 +207,14 @@ func (s *Store) applyScan(off int64, p []byte) error {
 		if terr != nil {
 			return fmt.Errorf("disk: segment offset %d: %w", off, terr)
 		}
-		s.setIdxLocked(rec.urn, idxEnt{ver: rec.ver, off: off, rlen: rlen, typ: typ})
+		s.setIdxLocked(rec.urn, idxEnt{ver: rec.ver, off: off, rlen: rlen, typ: typ, kind: recState})
 		s.hist.Clear(rec.urn)
 	case recOps:
 		typ, terr := objType(rec.obj)
 		if terr != nil {
 			return fmt.Errorf("disk: segment offset %d: %w", off, terr)
 		}
-		s.setIdxLocked(rec.urn, idxEnt{ver: rec.ver, off: off, rlen: rlen, typ: typ})
+		s.setIdxLocked(rec.urn, idxEnt{ver: rec.ver, off: off, rlen: rlen, typ: typ, kind: recOps})
 		if !s.hist.Record(rec.urn, rec.ver, rec.invs, rec.src) {
 			s.hist.Clear(rec.urn)
 		}
@@ -194,7 +229,7 @@ func (s *Store) applyScan(off int64, p []byte) error {
 		if terr != nil {
 			return fmt.Errorf("disk: segment offset %d: %w", off, terr)
 		}
-		s.setIdxLocked(rec.urn, idxEnt{ver: rec.ver, off: off, rlen: rlen, typ: typ})
+		s.setIdxLocked(rec.urn, idxEnt{ver: rec.ver, off: off, rlen: rlen, typ: typ, kind: recSnap})
 		s.hist.Clear(rec.urn)
 		s.hist.Restore(rec.urn, rec.hist)
 	}
@@ -263,6 +298,7 @@ func (s *Store) commitRecord(u urn.URN, rec []byte, publish func(off, rlen int64
 	if err == nil {
 		publish(off, end-off)
 		s.mutsSinceCompact++
+		s.cleanFooter = false
 		compact = s.mutsSinceCompact >= s.opts.CompactEvery
 	}
 	s.cond.Broadcast()
@@ -287,7 +323,7 @@ func (s *Store) Create(obj *rdo.Object) error {
 	}
 	objBytes := cp.Encode()
 	return s.commitRecord(cp.URN, encodeState(cp.URN, 1, objBytes), func(off, rlen int64) {
-		s.setIdxLocked(cp.URN, idxEnt{ver: 1, off: off, rlen: rlen, typ: cp.Type})
+		s.setIdxLocked(cp.URN, idxEnt{ver: 1, off: off, rlen: rlen, typ: cp.Type, kind: recState})
 		s.hist.Clear(cp.URN) // a re-created URN starts with no past
 		s.lru.put(cp)
 		s.notifyLocked(store.ApplyEvent{Kind: store.ApplyState, URN: cp.URN, Version: 1, Object: objBytes})
@@ -315,7 +351,7 @@ func (s *Store) Commit(obj *rdo.Object, expect uint64) (uint64, error) {
 	cp.Version = expect + 1
 	objBytes := cp.Encode()
 	err = s.commitRecord(cp.URN, encodeState(cp.URN, cp.Version, objBytes), func(off, rlen int64) {
-		s.setIdxLocked(cp.URN, idxEnt{ver: cp.Version, off: off, rlen: rlen, typ: cp.Type})
+		s.setIdxLocked(cp.URN, idxEnt{ver: cp.Version, off: off, rlen: rlen, typ: cp.Type, kind: recState})
 		s.hist.Clear(cp.URN)
 		s.lru.put(cp)
 		s.notifyLocked(store.ApplyEvent{Kind: store.ApplyState, URN: cp.URN,
@@ -363,13 +399,17 @@ func (s *Store) commitOps(obj *rdo.Object, expect uint64, invs []rdo.Invocation,
 	cpInvs := make([]rdo.Invocation, len(invs))
 	copy(cpInvs, invs)
 	var rec []byte
+	recKind := recState
 	if len(cpInvs) > 0 {
-		rec = encodeOps(cp.URN, expect, cp.Version, src, cpInvs, objBytes)
+		// The chain link points at the object's previous record (ent.off),
+		// letting recovery and far-behind catch-up walk versions backwards.
+		rec = encodeOps(cp.URN, expect, cp.Version, src, cpInvs, objBytes, ent.off)
+		recKind = recOps
 	} else {
 		rec = encodeState(cp.URN, cp.Version, objBytes)
 	}
 	err = s.commitRecord(cp.URN, rec, func(off, rlen int64) {
-		s.setIdxLocked(cp.URN, idxEnt{ver: cp.Version, off: off, rlen: rlen, typ: cp.Type})
+		s.setIdxLocked(cp.URN, idxEnt{ver: cp.Version, off: off, rlen: rlen, typ: cp.Type, kind: recKind})
 		s.lru.put(cp)
 		if s.hist.Record(cp.URN, cp.Version, cpInvs, src) {
 			if notify {
@@ -427,7 +467,7 @@ func (s *Store) InstallState(obj *rdo.Object) (uint64, error) {
 	cp := obj.Clone()
 	objBytes := cp.Encode()
 	err = s.commitRecord(cp.URN, encodeState(cp.URN, cp.Version, objBytes), func(off, rlen int64) {
-		s.setIdxLocked(cp.URN, idxEnt{ver: cp.Version, off: off, rlen: rlen, typ: cp.Type})
+		s.setIdxLocked(cp.URN, idxEnt{ver: cp.Version, off: off, rlen: rlen, typ: cp.Type, kind: recState})
 		s.hist.Clear(cp.URN)
 		s.lru.put(cp)
 	})
@@ -474,12 +514,8 @@ func (s *Store) Get(u urn.URN) (*rdo.Object, error) {
 		s.mu.RUnlock()
 		return obj, nil
 	}
-	p, err := s.seg.ReadAt(ent.off)
+	rec, err := readRecordAt(s.seg, ent.off)
 	s.mu.RUnlock()
-	if err != nil {
-		return nil, fmt.Errorf("disk: fault-in %s: %w", u, err)
-	}
-	rec, err := decodeRecord(p)
 	if err != nil {
 		return nil, fmt.Errorf("disk: fault-in %s: %w", u, err)
 	}
@@ -516,6 +552,74 @@ func (s *Store) OpsSince(u urn.URN, from uint64) ([]rdo.Invocation, uint64, bool
 	}
 	return s.hist.OpsSince(u, from, ent.ver)
 }
+
+// maxStreamChain bounds StreamOpsSince's backward walk. Past ~64k versions
+// the offset list itself is still tiny, but the replica is so far behind
+// that shipping the object's state is almost certainly cheaper than
+// replaying the delta.
+const maxStreamChain = 1 << 16
+
+// StreamOpsSince implements store.OpsReader: it streams the ops records
+// that advance u from version `from` up to the version current at the call,
+// oldest first, reading them straight from the segment via each record's
+// chain link — the far-behind catch-up path that keeps working long after
+// the in-memory history window pruned those versions.
+//
+// ok=false with a nil error means the delta cannot be served — the object
+// reached its version through an opaque jump, the chain left the current
+// segment (compaction swapped it mid-walk), or the span is unreasonable —
+// and the caller should fall back to full-state transfer. An error from fn
+// aborts the stream and is returned as (false, err).
+//
+// Memory stays bounded regardless of how far behind `from` is: the backward
+// pass retains only one offset per version, and the forward pass re-reads
+// one record at a time.
+func (s *Store) StreamOpsSince(u urn.URN, from uint64, fn func(ver uint64, invs []rdo.Invocation, src string, obj []byte) error) (bool, error) {
+	s.mu.RLock()
+	ent, ok := s.idx[u]
+	seg := s.seg
+	s.mu.RUnlock()
+	if !ok || from >= ent.ver || ent.ver-from > maxStreamChain || ent.kind != recOps {
+		return false, nil
+	}
+	// Backward pass: collect each version's record offset via the chain.
+	offs := make([]int64, 0, ent.ver-from)
+	off, want := ent.off, ent.ver
+	for want > from {
+		rec, err := readRecordAt(seg, off)
+		if err != nil || rec.kind != recOps || rec.urn != u || rec.ver != want {
+			return false, nil
+		}
+		offs = append(offs, off)
+		want--
+		if want == from {
+			break
+		}
+		if rec.prevOff < 0 {
+			return false, nil
+		}
+		off = rec.prevOff
+	}
+	// Forward pass: replay oldest-first, handing each record to fn.
+	for i := len(offs) - 1; i >= 0; i-- {
+		rec, err := readRecordAt(seg, offs[i])
+		if err != nil || rec.kind != recOps {
+			return false, nil
+		}
+		if ferr := fn(rec.ver, rec.invs, rec.src, rec.obj); ferr != nil {
+			return false, ferr
+		}
+	}
+	return true, nil
+}
+
+// SetCacheBytes implements store.CacheTuner: it retunes the hot-object LRU
+// budget online, evicting immediately on shrink. The facade's autotuner is
+// the intended caller.
+func (s *Store) SetCacheBytes(n int64) { s.lru.setMax(n) }
+
+// CacheBytes implements store.CacheTuner.
+func (s *Store) CacheBytes() int64 { return s.lru.maxBytes() }
 
 // WasCommitted implements store.Backend. Because history survives restart,
 // redelivery detection holds even when the store's fsync won the race
@@ -636,11 +740,7 @@ func (s *Store) objBytesLocked(u urn.URN, ent idxEnt) ([]byte, error) {
 	if obj := s.lru.peek(u); obj != nil && obj.Version == ent.ver {
 		return obj.Encode(), nil
 	}
-	p, err := s.seg.ReadAt(ent.off)
-	if err != nil {
-		return nil, err
-	}
-	rec, err := decodeRecord(p)
+	rec, err := readRecordAt(s.seg, ent.off)
 	if err != nil {
 		return nil, err
 	}
@@ -692,7 +792,7 @@ func (s *Store) LoadSnapshot(data []byte) error {
 			if aerr != nil {
 				return aerr
 			}
-			add(u, idxEnt{ver: obj.Version, off: off, rlen: tmp.Size() - off, typ: obj.Type})
+			add(u, idxEnt{ver: obj.Version, off: off, rlen: tmp.Size() - off, typ: obj.Type, kind: recState})
 		}
 		return nil
 	})
@@ -713,9 +813,10 @@ func (s *Store) maybeCompact() {
 	if s.closed || s.compacting || s.mutsSinceCompact < s.opts.CompactEvery {
 		return
 	}
-	if s.seg.Size() < 2*(s.liveBytes+1) {
+	if s.seg.Size() < 2*(s.liveBytes+s.segFooterBytes+1) {
 		// Mostly live (e.g. a pure-insert load): rewriting would reclaim
-		// nothing. Rearm the counter.
+		// nothing. Rearm the counter. Footer chunks count with the live
+		// side — a rewrite would write a footer of the same size again.
 		s.mutsSinceCompact = 0
 		return
 	}
@@ -736,8 +837,10 @@ func (s *Store) maybeCompact() {
 				return oerr
 			}
 			var rec []byte
+			recKind := recState
 			if w := s.hist.Window(u); len(w) > 0 {
 				rec = encodeSnap(u, ent.ver, objBytes, w)
+				recKind = recSnap
 			} else {
 				rec = encodeState(u, ent.ver, objBytes)
 			}
@@ -745,7 +848,7 @@ func (s *Store) maybeCompact() {
 			if aerr != nil {
 				return aerr
 			}
-			add(u, idxEnt{ver: ent.ver, off: off, rlen: tmp.Size() - off, typ: ent.typ})
+			add(u, idxEnt{ver: ent.ver, off: off, rlen: tmp.Size() - off, typ: ent.typ, kind: recKind})
 		}
 		return nil
 	})
@@ -781,6 +884,10 @@ func (s *Store) rewriteLocked(write func(tmp *stable.SegmentFile, add func(urn.U
 	if err := write(tmp, add); err != nil {
 		return abort(err)
 	}
+	foot, err := appendFooter(tmp, newIdx)
+	if err != nil {
+		return abort(err)
+	}
 	if err := tmp.Commit(); err != nil {
 		return abort(err)
 	}
@@ -792,7 +899,11 @@ func (s *Store) rewriteLocked(write func(tmp *stable.SegmentFile, add func(urn.U
 	old.Close()
 	s.idx = newIdx
 	s.liveBytes = live
+	s.segFooterBytes = tmp.Size() - foot.off
 	s.mutsSinceCompact = 0
+	// Point the sidecar at the fresh footer; a failed write just means the
+	// next Open scans (writeSidecar already removed the stale pointer).
+	s.cleanFooter = s.writeSidecar(foot)
 	return nil
 }
 
@@ -854,7 +965,21 @@ func (s *Store) Close() error {
 	for len(s.committing) > 0 {
 		s.cond.Wait()
 	}
+	// Leave a fresh index footer behind so the next Open skips the scan.
+	// The chunks ride the final safety sync inside seg.Close; the sidecar
+	// is only written once that sync succeeded, so it never points at
+	// records that might not be durable.
+	wroteFooter := false
+	var foot footerInfo
+	if !s.cleanFooter && s.seg.Poisoned() == nil {
+		if f, ferr := appendFooter(s.seg, s.idx); ferr == nil {
+			foot, wroteFooter = f, true
+		}
+	}
 	err := s.seg.Close()
+	if wroteFooter && err == nil {
+		s.writeSidecar(foot)
+	}
 	s.cond.Broadcast()
 	return err
 }

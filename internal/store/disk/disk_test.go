@@ -150,6 +150,9 @@ func TestTornTailRecovery(t *testing.T) {
 	if err := s.Create(obj("torn")); err != nil {
 		t.Fatal(err)
 	}
+	// A crash never writes Close's index footer, so simulate against the
+	// segment as it stood at the last commit, not after the clean Close.
+	preClose := s.Occupancy().SegmentBytes
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +162,7 @@ func TestTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Chop into the final record: the crash-mid-commit signature.
-	if err := os.WriteFile(seg, data[:len(data)-5], 0o600); err != nil {
+	if err := os.WriteFile(seg, data[:preClose-5], 0o600); err != nil {
 		t.Fatal(err)
 	}
 	s2 := openStore(t, dir, Options{})
@@ -296,7 +299,7 @@ func TestUnpublishedDurableRecordReplaysAsCommitted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := seg.Append(encodeOps(o.URN, 1, 2, "client-9", []rdo.Invocation{inv}, cur.Encode())); err != nil {
+	if _, err := seg.Append(encodeOps(o.URN, 1, 2, "client-9", []rdo.Invocation{inv}, cur.Encode(), -1)); err != nil {
 		t.Fatal(err)
 	}
 	seg.Close()

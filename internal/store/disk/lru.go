@@ -61,7 +61,7 @@ func (c *lruCache) put(obj *rdo.Object) {
 	size := int64(obj.SizeEstimate())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if size > c.max {
+	if c.max <= 0 || size > c.max {
 		return
 	}
 	if el, ok := c.m[obj.URN]; ok {
@@ -83,6 +83,33 @@ func (c *lruCache) put(obj *rdo.Object) {
 		delete(c.m, ent.u)
 		c.bytes -= ent.size
 	}
+}
+
+// setMax retunes the byte bound online (the facade's autotuner grows it),
+// evicting from the cold end when the new bound is below current occupancy.
+// A bound <= 0 caches nothing: existing entries are evicted and every later
+// put is refused by the size check.
+func (c *lruCache) setMax(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = n
+	for c.bytes > c.max {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*lruEnt)
+		c.ll.Remove(el)
+		delete(c.m, ent.u)
+		c.bytes -= ent.size
+	}
+}
+
+// maxBytes returns the current byte bound.
+func (c *lruCache) maxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
 }
 
 // peek returns the cached object without promoting it — compaction's bulk

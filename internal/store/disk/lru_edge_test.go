@@ -1,0 +1,261 @@
+package disk
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"rover/internal/rdo"
+	"rover/internal/urn"
+)
+
+// TestLRUOversizedObjectNeverCached: an object bigger than the whole budget
+// is served straight from the segment every time — admitted it would evict
+// everything and still overflow.
+func TestLRUOversizedObjectNeverCached(t *testing.T) {
+	dir := t.TempDir()
+	small := obj("small")
+	budget := 4 * int64(small.SizeEstimate())
+	s := openStore(t, dir, Options{CacheBytes: budget})
+	big := rdo.New(urn.MustParse("urn:rover:h/big"), "t")
+	for i := 0; i < 64; i++ {
+		big.Set(fmt.Sprintf("pad%02d", i), "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	}
+	if int64(big.SizeEstimate()) <= budget {
+		t.Fatalf("test object too small: %d <= budget %d", big.SizeEstimate(), budget)
+	}
+	if err := s.Create(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(big); err != nil {
+		t.Fatal(err)
+	}
+	occ := s.Occupancy()
+	if occ.ResidentBytes > budget {
+		t.Fatalf("resident %d over budget %d after oversized create", occ.ResidentBytes, budget)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := s.Get(big.URN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := got.Get("pad00"); v != "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx" {
+			t.Fatalf("faulted oversized state %q", v)
+		}
+	}
+	// Every one of those gets was a cold fault: the object never stuck.
+	if occ = s.Occupancy(); occ.ColdFaults < 3 {
+		t.Fatalf("cold faults %d, want >= 3 (oversized object was cached)", occ.ColdFaults)
+	}
+	// The small object still caches beside it.
+	if _, err := s.Get(small.URN); err != nil {
+		t.Fatal(err)
+	}
+	if occ = s.Occupancy(); occ.ResidentObjects == 0 {
+		t.Fatal("oversized sibling starved the cache entirely")
+	}
+}
+
+// TestLRUZeroAndNegativeBudget: SetCacheBytes(<=0) caches nothing — existing
+// entries are evicted immediately and reads keep working as pure cold-path.
+func TestLRUZeroAndNegativeBudget(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	for i := 0; i < 8; i++ {
+		if err := s.Create(obj(fmt.Sprintf("z/%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Occupancy().ResidentObjects == 0 {
+		t.Fatal("nothing resident under the default budget")
+	}
+	for _, budget := range []int64{0, -1} {
+		s.SetCacheBytes(budget)
+		if got := s.CacheBytes(); got != budget {
+			t.Fatalf("CacheBytes() = %d after SetCacheBytes(%d)", got, budget)
+		}
+		occ := s.Occupancy()
+		if occ.ResidentObjects != 0 || occ.ResidentBytes != 0 {
+			t.Fatalf("budget %d left %d objects / %d bytes resident", budget, occ.ResidentObjects, occ.ResidentBytes)
+		}
+		for i := 0; i < 8; i++ {
+			got, err := s.Get(urn.MustParse(fmt.Sprintf("urn:rover:h/z/%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := got.Get("k"); v != fmt.Sprintf("z/%d", i) {
+				t.Fatalf("cold get under budget %d: %q", budget, v)
+			}
+		}
+		if occ = s.Occupancy(); occ.ResidentObjects != 0 {
+			t.Fatalf("budget %d re-admitted %d objects", budget, occ.ResidentObjects)
+		}
+	}
+	// Restoring a budget resumes caching.
+	s.SetCacheBytes(1 << 20)
+	if _, err := s.Get(urn.MustParse("urn:rover:h/z/0")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Occupancy().ResidentObjects == 0 {
+		t.Fatal("cache did not resume after the budget was restored")
+	}
+}
+
+// TestLRUShrinkEvictsImmediately: shrinking the budget online evicts from
+// the cold end at once — occupancy never sits above the bound waiting for
+// the next put.
+func TestLRUShrinkEvictsImmediately(t *testing.T) {
+	dir := t.TempDir()
+	per := int64(obj("probe").SizeEstimate())
+	s := openStore(t, dir, Options{CacheBytes: 8 * per})
+	for i := 0; i < 8; i++ {
+		if err := s.Create(obj(fmt.Sprintf("e/%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Occupancy()
+	if before.ResidentObjects < 4 {
+		t.Fatalf("only %d resident before shrink", before.ResidentObjects)
+	}
+	s.SetCacheBytes(2 * per)
+	occ := s.Occupancy()
+	if occ.ResidentBytes > 2*per {
+		t.Fatalf("resident %d bytes after shrink to %d", occ.ResidentBytes, 2*per)
+	}
+	if occ.ResidentObjects == 0 {
+		t.Fatal("shrink evicted everything despite room for two")
+	}
+	// The survivors are the hottest (most recently touched) entries.
+	if _, err := s.Get(urn.MustParse("urn:rover:h/e/7")); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Occupancy(); after.CacheHits == before.CacheHits {
+		t.Fatal("most recent entry evicted before colder ones")
+	}
+}
+
+// TestLRUPutNeverRegressesVersion: fault-ins publish into the cache
+// concurrently with commits; whatever interleaving happens, a Get must
+// never observe an older version than one it (or a commit) already saw.
+func TestLRUPutNeverRegressesVersion(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{CacheBytes: 1 << 20})
+	o := obj("race")
+	o.Set("n", "0")
+	if err := s.Create(o); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Committer: advances the version as fast as it can.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur, err := s.Get(o.URN)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cur.Set("n", strconv.Itoa(i))
+			if _, err := s.Commit(cur, cur.Version); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Readers: each must see a monotonically non-decreasing version, with
+	// the cache budget flapping underneath to force fault-in/put races.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var last uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r == 0 && i%16 == 0 {
+					// Flap the budget: evict mid-stream, then re-admit.
+					s.SetCacheBytes(int64(1 << uint(10+i%11)))
+				}
+				got, err := s.Get(o.URN)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Version < last {
+					t.Errorf("version regressed: %d after %d", got.Version, last)
+					return
+				}
+				last = got.Version
+			}
+		}(r)
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := s.Get(o.URN); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Final read agrees with the index.
+	ver, err := s.Version(o.URN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(o.URN)
+	if err != nil || got.Version != ver {
+		t.Fatalf("final get v%d vs index v%d (%v)", got.Version, ver, err)
+	}
+}
+
+// TestLRUEvictionDuringInFlightFault: a cache so small that concurrent
+// readers perpetually evict each other's fault-ins mid-flight. Every read
+// must still return the correct object.
+func TestLRUEvictionDuringInFlightFault(t *testing.T) {
+	dir := t.TempDir()
+	per := int64(obj("probe").SizeEstimate())
+	s := openStore(t, dir, Options{CacheBytes: per + per/2}) // room for ~1
+	const objects = 16
+	for i := 0; i < objects; i++ {
+		if err := s.Create(obj(fmt.Sprintf("t/%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("t/%02d", (w+i)%objects)
+				got, err := s.Get(urn.MustParse("urn:rover:h/" + path))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v, _ := got.Get("k"); v != path {
+					t.Errorf("got %q for %q", v, path)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	occ := s.Occupancy()
+	if occ.ResidentBytes > per+per/2 {
+		t.Fatalf("resident %d bytes over the %d bound after the stampede", occ.ResidentBytes, per+per/2)
+	}
+	if occ.ColdFaults == 0 {
+		t.Fatal("no cold faults despite a one-object cache")
+	}
+}

@@ -26,6 +26,7 @@ const (
 	recOps    = byte('O') // ops commit: CommitOps/InstallOps with invocations
 	recDelete = byte('D') // Delete/InstallDelete
 	recSnap   = byte('Z') // compaction snapshot: object + history window
+	recFooter = byte('X') // index footer chunk: URN → offset/len/version table
 )
 
 // record is one decoded segment record. Every kind but recDelete carries
@@ -40,6 +41,7 @@ type record struct {
 	invs    []rdo.Invocation
 	obj     []byte // encoded object
 	hist    []store.OpsRec // recSnap: retained window, oldest first
+	prevOff int64  // recOps: offset of the object's previous record; -1 unknown
 }
 
 func encodeState(u urn.URN, ver uint64, obj []byte) []byte {
@@ -51,7 +53,13 @@ func encodeState(u urn.URN, ver uint64, obj []byte) []byte {
 	return b.Bytes()
 }
 
-func encodeOps(u urn.URN, prevVer, ver uint64, src string, invs []rdo.Invocation, obj []byte) []byte {
+// encodeOps frames an ops commit. prevOff is the byte offset of the
+// object's previous record in the same segment (-1 when unknown); it is
+// appended as a trailing field, biased by one so absence and "no previous"
+// both decode safely, making old records (no trailing field) readable and
+// letting recovery and catch-up walk an object's record chain backwards
+// without scanning.
+func encodeOps(u urn.URN, prevVer, ver uint64, src string, invs []rdo.Invocation, obj []byte, prevOff int64) []byte {
 	var b wire.Buffer
 	b.PutByte(recOps)
 	b.PutString(u.String())
@@ -63,6 +71,11 @@ func encodeOps(u urn.URN, prevVer, ver uint64, src string, invs []rdo.Invocation
 		invs[i].MarshalWire(&b)
 	}
 	b.PutBytes(obj)
+	if prevOff < 0 {
+		b.PutUvarint(0)
+	} else {
+		b.PutUvarint(uint64(prevOff) + 1)
+	}
 	return b.Bytes()
 }
 
@@ -123,6 +136,10 @@ func decodeRecord(p []byte) (record, error) {
 			}
 		}
 		rec.obj = r.Bytes()
+		rec.prevOff = -1
+		if !r.Done() {
+			rec.prevOff = int64(r.Uvarint()) - 1
+		}
 	case recDelete:
 	case recSnap:
 		rec.ver = r.Uvarint()
@@ -156,6 +173,77 @@ func decodeRecord(p []byte) (record, error) {
 		return rec, fmt.Errorf("disk: record has trailing bytes")
 	}
 	return rec, nil
+}
+
+// Index footer. Compaction (and a clean Close) append the live index as a
+// run of 'X' chunk records at the segment's end, and record the run's start
+// offset in the store.fidx sidecar. Open then rebuilds the index from the
+// footer plus a scan of only the post-footer tail, instead of streaming the
+// whole segment. Each chunk carries the footer generation (a random token
+// shared with the sidecar, so a sidecar left over from a replaced segment
+// can never be trusted), its part number within the run, and a slice of
+// index entries. Chunks are bounded well under stable.MaxRecord so a footer
+// over millions of objects frames cleanly.
+const (
+	footerGenLen    = 16
+	footerChunkEnts = 32 << 10 // entries per 'X' record (~2-4 MB typical)
+)
+
+// footerEnt is one footer line: an object's resident index entry.
+type footerEnt struct {
+	u   urn.URN
+	ent idxEnt
+}
+
+func encodeFooterChunk(gen []byte, part uint64, ents []footerEnt) []byte {
+	var b wire.Buffer
+	b.PutByte(recFooter)
+	b.PutBytes(gen)
+	b.PutUvarint(part)
+	b.PutUvarint(uint64(len(ents)))
+	for _, e := range ents {
+		b.PutString(e.u.String())
+		b.PutUvarint(e.ent.ver)
+		b.PutUvarint(uint64(e.ent.off))
+		b.PutUvarint(uint64(e.ent.rlen))
+		b.PutByte(e.ent.kind)
+		b.PutString(e.ent.typ)
+	}
+	return b.Bytes()
+}
+
+func decodeFooterChunk(p []byte) (gen []byte, part uint64, ents []footerEnt, err error) {
+	r := wire.NewReader(p)
+	if r.Byte() != recFooter {
+		return nil, 0, nil, fmt.Errorf("disk: not a footer record")
+	}
+	gen = r.Bytes()
+	part = r.Uvarint()
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil || len(gen) != footerGenLen {
+		return nil, 0, nil, fmt.Errorf("disk: footer chunk header: %v", err)
+	}
+	ents = make([]footerEnt, 0, n)
+	for i := 0; i < n; i++ {
+		us := r.String()
+		ver := r.Uvarint()
+		off := int64(r.Uvarint())
+		rlen := int64(r.Uvarint())
+		kind := r.Byte()
+		typ := r.String()
+		if err := r.Err(); err != nil {
+			return nil, 0, nil, fmt.Errorf("disk: footer entry %d: %w", i, err)
+		}
+		u, uerr := urn.Parse(us)
+		if uerr != nil {
+			return nil, 0, nil, fmt.Errorf("disk: footer entry %d: %w", i, uerr)
+		}
+		ents = append(ents, footerEnt{u: u, ent: idxEnt{ver: ver, off: off, rlen: rlen, typ: typ, kind: kind}})
+	}
+	if !r.Done() {
+		return nil, 0, nil, fmt.Errorf("disk: footer chunk has trailing bytes")
+	}
+	return gen, part, ents, nil
 }
 
 // objType decodes just the type field from an object encoding (URN string,

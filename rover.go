@@ -530,16 +530,46 @@ type ServerOptions struct {
 	// (zero = default 8 MiB, negative = disabled). See
 	// qrpc.ServerConfig.ReplyCacheBytes.
 	ReplyCacheBytes int
+	// Autotune enables the adaptive cold-path controller: a periodic pass
+	// that grows the disk store's hot-object cache while cold faults
+	// dominate hits with the cache full (up to StoreCacheMaxBytes), and
+	// grows the journal shard count online while the measured fsync latency
+	// stays above AutotuneFsyncCost (up to JournalShardsMax). Both knobs are
+	// grow-only: the controller never shrinks a cache or a shard count, and
+	// every decision is observable via AutotuneReport. With Autotune set the
+	// journal also reopens in adopt mode — shard files a previous
+	// incarnation's growth created beyond JournalShards are adopted instead
+	// of refused.
+	Autotune bool
+	// AutotuneInterval is the controller period (zero = 2s). Ignored
+	// without Autotune.
+	AutotuneInterval time.Duration
+	// StoreCacheMaxBytes caps autotuned cache growth (zero = 8× the
+	// starting budget). Ignored without Autotune.
+	StoreCacheMaxBytes int64
+	// JournalShardsMax caps autotuned shard growth (zero = the larger of 8
+	// and the configured JournalShards). Ignored without Autotune.
+	JournalShardsMax int
+	// AutotuneFsyncCost is the measured per-shard fsync latency above which
+	// the controller doubles the shard count (zero = 2ms). Ignored without
+	// Autotune.
+	AutotuneFsyncCost time.Duration
 }
 
 // Server is a Rover home server: QRPC engine + object store + conflict
 // pipeline.
 type Server struct {
-	engine   *qrpc.Server
-	srv      *server.Server
-	backend  store.Backend // closed by Close when StoreDir is set
-	journals []stable.Log  // empty unless JournalPath is set; one per shard
-	opts     ServerOptions
+	engine  *qrpc.Server
+	srv     *server.Server
+	backend store.Backend // closed by Close when StoreDir is set
+	opts    ServerOptions
+
+	// journalMu guards journals: autotuned shard growth appends new logs
+	// while stats readers and Close walk the slice.
+	journalMu sync.Mutex
+	journals  []stable.Log // empty unless JournalPath is set; one per shard
+
+	tuner *autotuner // nil unless Autotune
 
 	replMu  sync.Mutex
 	rep     *repl.Replicator
@@ -575,7 +605,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	var journals []stable.Log
 	if opts.JournalPath != "" {
 		var err error
-		journals, err = openJournalShards(opts.JournalPath, opts.JournalShards)
+		journals, err = openJournalShards(opts.JournalPath, opts.JournalShards, opts.Autotune)
 		if err != nil {
 			return nil, err
 		}
@@ -628,6 +658,10 @@ func NewServer(opts ServerOptions) (*Server, error) {
 			_ = srv.Store().LoadSnapshot(data) // loaded existing snapshot
 		}
 	}
+	if opts.Autotune {
+		s.tuner = newAutotuner(s)
+		s.tuner.start()
+	}
 	return s, nil
 }
 
@@ -635,7 +669,9 @@ func NewServer(opts ServerOptions) (*Server, error) {
 // shard 0, "path.s1" … "path.s<n-1>" the rest. It refuses to open fewer
 // shards than exist on disk — a shard-count decrease would leave the
 // higher-index files' records silently unread, losing exactly-once state.
-func openJournalShards(path string, n int) ([]stable.Log, error) {
+// With adopt set (Autotune), shard files beyond n are opened instead of
+// refused: online growth creates them without the operator's config knowing.
+func openJournalShards(path string, n int, adopt bool) ([]stable.Log, error) {
 	if n <= 0 {
 		n = 1
 	}
@@ -646,16 +682,15 @@ func openJournalShards(path string, n int) ([]stable.Log, error) {
 			continue // not a shard file of ours (e.g. path.s1.compact mid-crash)
 		}
 		if k >= n {
-			return nil, fmt.Errorf("rover: journal shard file %s exists but only %d shard(s) configured; shard counts may grow, never shrink", m, n)
+			if !adopt {
+				return nil, fmt.Errorf("rover: journal shard file %s exists but only %d shard(s) configured; shard counts may grow, never shrink", m, n)
+			}
+			n = k + 1
 		}
 	}
 	logs := make([]stable.Log, 0, n)
 	for i := 0; i < n; i++ {
-		p := path
-		if i > 0 {
-			p = fmt.Sprintf("%s.s%d", path, i)
-		}
-		fl, err := stable.OpenFileLog(p, stable.Options{})
+		fl, err := stable.OpenFileLog(journalShardPath(path, i), stable.Options{})
 		if err != nil {
 			for _, l := range logs {
 				l.Close()
@@ -667,6 +702,15 @@ func openJournalShards(path string, n int) ([]stable.Log, error) {
 	return logs, nil
 }
 
+// journalShardPath names shard i's file: the journal path itself for shard
+// 0, "<path>.s<i>" beyond.
+func journalShardPath(path string, i int) string {
+	if i == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.s%d", path, i)
+}
+
 // Engine exposes the QRPC server engine (transport attachment).
 func (s *Server) Engine() *qrpc.Server { return s.engine }
 
@@ -674,6 +718,8 @@ func (s *Server) Engine() *qrpc.Server { return s.engine }
 // (empty when no journal is configured). Stats lines derive fsyncs/op and
 // measured fsync latency from these.
 func (s *Server) JournalStats() []stable.Stats {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
 	out := make([]stable.Stats, len(s.journals))
 	for i, jl := range s.journals {
 		out[i] = jl.Stats()
@@ -684,6 +730,8 @@ func (s *Server) JournalStats() []stable.Stats {
 // JournalCost reports the slowest per-shard measured fsync latency estimate
 // (zero without a journal or before the first sync).
 func (s *Server) JournalCost() time.Duration {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
 	var worst time.Duration
 	for _, jl := range s.journals {
 		if c := jl.Cost(); c > worst {
@@ -719,6 +767,9 @@ func (s *Server) ListenTCP(addr string) (*transport.TCPServer, error) {
 // then closes the session journal if one is configured. Transports attached
 // via ListenTCP are closed separately by their handles.
 func (s *Server) Close() error {
+	if s.tuner != nil {
+		s.tuner.stop()
+	}
 	s.replMu.Lock()
 	rep, replTr, replLog := s.rep, s.replTr, s.replLog
 	s.rep, s.replTr, s.replLog = nil, nil, nil
@@ -733,7 +784,10 @@ func (s *Server) Close() error {
 	if replLog != nil {
 		replLog.Close()
 	}
-	for _, jl := range s.journals {
+	s.journalMu.Lock()
+	journals := s.journals
+	s.journalMu.Unlock()
+	for _, jl := range journals {
 		if jerr := jl.Close(); err == nil {
 			err = jerr
 		}
